@@ -1,0 +1,73 @@
+package splitfs_test
+
+// One testing.B benchmark per paper table and figure, each driving the
+// experiment registry in internal/harness. The reported metric is
+// simulated nanoseconds (the paper's metric), not wall-clock time; run
+//
+//	go test -bench=. -benchmem
+//
+// and read the rendered tables from cmd/splitbench for the full output.
+
+import (
+	"io"
+	"testing"
+
+	"splitfs/internal/harness"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 && testing.Verbose() {
+			tbl.Render(io.Discard)
+		}
+	}
+}
+
+// BenchmarkTable1AppendOverhead regenerates Table 1: software overhead of
+// 4 KB appends on all five file systems.
+func BenchmarkTable1AppendOverhead(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2PMDevice regenerates Table 2: raw device characteristics.
+func BenchmarkTable2PMDevice(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable6Syscalls regenerates Table 6: per-syscall latency across
+// SplitFS modes and ext4 DAX.
+func BenchmarkTable6Syscalls(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7Strata regenerates Table 7: YCSB on LevelDB, Strata vs
+// SplitFS-strict.
+func BenchmarkTable7Strata(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkFig3Techniques regenerates Figure 3: the contribution of the
+// split architecture, staging, and relink.
+func BenchmarkFig3Techniques(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4IOPatterns regenerates Figure 4: five IO patterns across
+// all file systems by guarantee level.
+func BenchmarkFig4IOPatterns(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5SoftwareOverhead regenerates Figure 5: relative software
+// overhead in YCSB and TPCC.
+func BenchmarkFig5SoftwareOverhead(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6Applications regenerates Figure 6: application throughput
+// and the metadata-heavy utilities.
+func BenchmarkFig6Applications(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkRecovery regenerates the §5.3 recovery-time measurement.
+func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }
+
+// BenchmarkResources regenerates the §5.10 resource-consumption numbers.
+func BenchmarkResources(b *testing.B) { runExperiment(b, "resources") }
+
+// BenchmarkAblation regenerates the §3.6/§4 tunable-parameter ablations.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }

@@ -1,0 +1,52 @@
+// Command splitbench regenerates the SplitFS paper's evaluation tables
+// and figures on the simulated PM substrate.
+//
+// Usage:
+//
+//	splitbench            # run every experiment
+//	splitbench list       # list experiment IDs
+//	splitbench table1 fig4 ...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"splitfs/internal/harness"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "list" {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var exps []harness.Experiment
+	if len(args) == 0 {
+		exps = harness.All()
+	} else {
+		for _, id := range args {
+			e, ok := harness.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (try 'splitbench list')\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	failed := false
+	for _, e := range exps {
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		tbl.Render(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

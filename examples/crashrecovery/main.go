@@ -1,0 +1,54 @@
+// crashrecovery: demonstrate strict mode's synchronous + atomic
+// guarantee. Writes are acknowledged, power fails with torn cache lines,
+// and recovery replays the operation log (§3.3, §5.3) — every
+// acknowledged write survives without an fsync.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	root "splitfs"
+	"splitfs/internal/vfs"
+)
+
+func main() {
+	stack, err := root.NewStack(root.StackConfig{
+		Mode:             root.Strict,
+		TrackPersistence: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := vfs.Create(stack.FS, "/ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		entry := fmt.Sprintf("txn %03d: credit 100 gold\n", i)
+		if _, err := f.Write([]byte(entry)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("5 ledger entries written; NO fsync issued")
+
+	// Power failure with torn cache lines.
+	if err := stack.Crash(0xBADC0FFEE); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("power failed (unfenced lines torn at 8-byte granularity)")
+
+	recovered, report, err := stack.Recover(root.Strict)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery: %d log entries scanned, %d staged writes replayed, %d skipped, %.2f ms simulated\n",
+		report.Entries, report.Replayed, report.Skipped, float64(report.ReplayNs)/1e6)
+
+	got, err := vfs.ReadFile(recovered.FS, "/ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ledger after recovery (%d bytes):\n%s", len(got), got)
+}

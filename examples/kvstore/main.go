@@ -1,0 +1,56 @@
+// kvstore: run the LevelDB-like LSM store over SplitFS and ext4 DAX and
+// compare the simulated cost of a small YCSB-A-style workload — the
+// paper's headline application scenario (§5.8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	root "splitfs"
+	"splitfs/internal/apps/lsmkv"
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+	"splitfs/internal/wl/ycsb"
+)
+
+func run(name string, fs vfs.FileSystem, clk *sim.Clock) {
+	db, err := lsmkv.Open(fs, lsmkv.Options{MemtableBytes: 512 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	cfg := ycsb.Config{Records: 500, Operations: 1000, ValueBytes: 500}
+	if _, err := ycsb.Load(db, cfg); err != nil {
+		log.Fatal(err)
+	}
+	before := clk.Now()
+	st, err := ycsb.Run(db, ycsb.A, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := clk.Now() - before
+	fmt.Printf("%-14s YCSB-A: %d ops in %.2f ms simulated -> %.1f Kops/s\n",
+		name, st.Ops(), float64(elapsed)/1e6,
+		float64(st.Ops())/(float64(elapsed)/1e9)/1e3)
+}
+
+func main() {
+	// SplitFS (POSIX mode).
+	stack, err := root.NewStack(root.StackConfig{DeviceBytes: 512 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("splitfs-posix", stack.FS, stack.Clock)
+
+	// ext4 DAX baseline.
+	clk := sim.NewClock()
+	dev := pmem.New(pmem.Config{Size: 512 << 20, Clock: clk})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("ext4-dax", kfs, clk)
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a SplitFS stack, write a file through the staging
+// path, fsync (relink), and inspect the simulated cost of each step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	root "splitfs"
+	"splitfs/internal/vfs"
+)
+
+func main() {
+	stack, err := root.NewStack(root.StackConfig{Mode: root.POSIX})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, clk := stack.FS, stack.Clock
+
+	f, err := vfs.Create(fs, "/hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := []byte("hello, persistent memory — served from user space")
+
+	before := clk.Now()
+	if _, err := f.Write(payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("append (staged, no kernel trap): %6d ns\n", clk.Now()-before)
+
+	before = clk.Now()
+	if err := f.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fsync  (relink, no data copy):   %6d ns\n", clk.Now()-before)
+
+	buf := make([]byte, len(payload))
+	before = clk.Now()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read   (mmap, processor loads):  %6d ns\n", clk.Now()-before)
+	fmt.Printf("content: %q\n", buf)
+
+	st := fs.Stats()
+	fmt.Printf("\nU-Split stats: %d user-space reads, %d staged appends, %d relinks (%d blocks moved, %d bytes copied)\n",
+		st.UserReads, st.Appends, st.Relinks, st.RelinkBlocks, st.CopiedBytes)
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

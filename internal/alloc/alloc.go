@@ -1,0 +1,238 @@
+// Package alloc provides the bitmap block allocator shared by the kernel
+// file systems in this repository. The bitmap itself lives on the PM
+// device (so it survives crashes and can be journaled); a DRAM mirror
+// makes allocation scans cache-speed, mirroring how ext4 keeps buddy
+// bitmaps in the page cache.
+//
+// Allocation is extent-based: AllocExtent finds the longest contiguous run
+// up to the requested length, which is what makes ext4-style extent trees
+// (and SplitFS staging-file pre-allocation) compact.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// Extent is a contiguous run of file-system blocks.
+type Extent struct {
+	Start int64 // first block number
+	Len   int64 // number of blocks
+}
+
+func (e Extent) String() string { return fmt.Sprintf("[%d+%d)", e.Start, e.Len) }
+
+// End returns the first block after the extent.
+func (e Extent) End() int64 { return e.Start + e.Len }
+
+// ByteRange is a modified range of the on-device bitmap, for journaling.
+type ByteRange struct {
+	Off int64 // device offset of the first modified byte
+	Len int
+}
+
+// Bitmap is a block bitmap with a DRAM mirror. When built with New/Load
+// it writes its state through to the device (for journaled file systems);
+// when built with NewVolatile it is DRAM-only, for log-structured file
+// systems that rebuild allocator state from their logs at mount.
+type Bitmap struct {
+	dev      *pmem.Device // nil for volatile bitmaps
+	clk      *sim.Clock
+	base     int64 // device offset of the bitmap region
+	dataBase int64 // device offset of block 0
+	nblocks  int64
+
+	mu   sync.Mutex
+	bits []byte
+	free int64
+	hint int64 // next-fit scan start
+}
+
+// BitmapBytes returns the size in bytes of a bitmap covering n blocks.
+func BitmapBytes(n int64) int64 { return (n + 7) / 8 }
+
+// New creates an empty (all-free) device-backed bitmap. The caller is
+// responsible for persisting the initial zeroed state (mkfs does).
+func New(dev *pmem.Device, base, dataBase, nblocks int64) *Bitmap {
+	return &Bitmap{
+		dev:      dev,
+		clk:      dev.Clock(),
+		base:     base,
+		dataBase: dataBase,
+		nblocks:  nblocks,
+		bits:     make([]byte, BitmapBytes(nblocks)),
+		free:     nblocks,
+	}
+}
+
+// NewVolatile creates a DRAM-only bitmap over nblocks blocks whose block
+// 0 lives at device offset dataBase. Mutations are never written to the
+// device; the owning file system re-marks allocations at mount.
+func NewVolatile(clk *sim.Clock, dataBase, nblocks int64) *Bitmap {
+	return &Bitmap{
+		clk:      clk,
+		dataBase: dataBase,
+		nblocks:  nblocks,
+		bits:     make([]byte, BitmapBytes(nblocks)),
+		free:     nblocks,
+	}
+}
+
+// Load reads the bitmap back from the device after a mount or crash
+// recovery and rebuilds the DRAM mirror.
+func Load(dev *pmem.Device, base, dataBase, nblocks int64) *Bitmap {
+	b := New(dev, base, dataBase, nblocks)
+	dev.ReadAt(b.bits, base, sim.CatPMMeta)
+	b.free = 0
+	for i := int64(0); i < nblocks; i++ {
+		if !b.isSet(i) {
+			b.free++
+		}
+	}
+	return b
+}
+
+func (b *Bitmap) isSet(blk int64) bool { return b.bits[blk/8]&(1<<(blk%8)) != 0 }
+func (b *Bitmap) set(blk int64)        { b.bits[blk/8] |= 1 << (blk % 8) }
+func (b *Bitmap) clear(blk int64)      { b.bits[blk/8] &^= 1 << (blk % 8) }
+
+// AllocExtent allocates up to want contiguous blocks (at least 1) and
+// returns the extent plus the dirty bitmap byte range the caller must
+// journal. It charges the allocator's CPU search cost. Returns
+// vfs.ErrNoSpace when the device is full.
+func (b *Bitmap) AllocExtent(want int64) (Extent, ByteRange, error) {
+	if want < 1 {
+		want = 1
+	}
+	b.clk.Charge(sim.CatAlloc, sim.AllocExtentNs)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.free == 0 {
+		return Extent{}, ByteRange{}, vfs.ErrNoSpace
+	}
+	// Next-fit: scan from the hint, wrapping once; take the first free
+	// run, truncated to want.
+	bestStart, bestLen := int64(-1), int64(0)
+	scan := func(from, to int64) bool {
+		run := int64(0)
+		for i := from; i < to; i++ {
+			if b.isSet(i) {
+				run = 0
+				continue
+			}
+			run++
+			if run == 1 {
+				bestStart, bestLen = i, 0
+			}
+			bestLen = run
+			if run >= want {
+				return true
+			}
+		}
+		return bestLen > 0
+	}
+	if !scan(b.hint, b.nblocks) {
+		bestStart, bestLen = -1, 0
+		if !scan(0, b.hint) {
+			return Extent{}, ByteRange{}, vfs.ErrNoSpace
+		}
+	}
+	if bestLen > want {
+		bestLen = want
+	}
+	ext := Extent{Start: bestStart, Len: bestLen}
+	for i := ext.Start; i < ext.End(); i++ {
+		b.set(i)
+	}
+	b.free -= ext.Len
+	b.hint = ext.End() % b.nblocks
+	return ext, b.writeBack(ext), nil
+}
+
+// Alloc allocates exactly n blocks, possibly as multiple extents, undoing
+// everything on failure.
+func (b *Bitmap) Alloc(n int64) ([]Extent, []ByteRange, error) {
+	var exts []Extent
+	var dirty []ByteRange
+	remaining := n
+	for remaining > 0 {
+		e, d, err := b.AllocExtent(remaining)
+		if err != nil {
+			for _, u := range exts {
+				b.Free(u)
+			}
+			return nil, nil, err
+		}
+		exts = append(exts, e)
+		dirty = append(dirty, d)
+		remaining -= e.Len
+	}
+	return exts, dirty, nil
+}
+
+// MarkAllocated forces an extent to allocated state without charging
+// search cost; used when rebuilding allocator state from a log replay
+// (NOVA-style recovery). Marking an already-allocated block panics.
+func (b *Bitmap) MarkAllocated(e Extent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := e.Start; i < e.End(); i++ {
+		if b.isSet(i) {
+			panic(fmt.Sprintf("alloc: MarkAllocated of live block %d", i))
+		}
+		b.set(i)
+	}
+	b.free -= e.Len
+}
+
+// Free releases an extent and returns the dirty bitmap range. Freeing
+// already-free blocks panics: it indicates file-system corruption.
+func (b *Bitmap) Free(e Extent) ByteRange {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := e.Start; i < e.End(); i++ {
+		if !b.isSet(i) {
+			panic(fmt.Sprintf("alloc: double free of block %d", i))
+		}
+		b.clear(i)
+	}
+	b.free += e.Len
+	return b.writeBack(e)
+}
+
+// writeBack stores the bitmap bytes covering e to the device (cached
+// stores; the FS journal decides when they are flushed). Volatile
+// bitmaps skip the device write. Caller holds b.mu.
+func (b *Bitmap) writeBack(e Extent) ByteRange {
+	if b.dev == nil {
+		return ByteRange{}
+	}
+	lo := e.Start / 8
+	hi := (e.End()-1)/8 + 1
+	b.dev.Store(b.base+lo, b.bits[lo:hi], sim.CatPMMeta)
+	return ByteRange{Off: b.base + lo, Len: int(hi - lo)}
+}
+
+// BlockOffset translates a block number to its device byte offset.
+func (b *Bitmap) BlockOffset(blk int64) int64 { return b.dataBase + blk*sim.BlockSize }
+
+// ExtentOffset translates an extent to its device byte offset.
+func (b *Bitmap) ExtentOffset(e Extent) int64 { return b.BlockOffset(e.Start) }
+
+// Free blocks remaining.
+func (b *Bitmap) FreeCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}
+
+// Allocated reports whether blk is currently allocated.
+func (b *Bitmap) Allocated(blk int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.isSet(blk)
+}

@@ -1,0 +1,131 @@
+// Package aofstore is a Redis-style in-memory key-value store with an
+// append-only file (AOF): every SET appends a record to the AOF, which is
+// fsynced periodically ("appendfsync everysec" in the paper's Redis
+// configuration, §5.2). The file-system pattern is the paper's Redis
+// workload: a long run of small appends with occasional fsyncs.
+package aofstore
+
+import (
+	"encoding/binary"
+
+	"splitfs/internal/vfs"
+)
+
+// Options configure the store.
+type Options struct {
+	// Path of the append-only file.
+	Path string
+	// FsyncEvery fsyncs the AOF after this many sets (the everysec
+	// analogue in virtual time; default 64).
+	FsyncEvery int
+}
+
+func (o *Options) fill() {
+	if o.Path == "" {
+		o.Path = "/appendonly.aof"
+	}
+	if o.FsyncEvery == 0 {
+		o.FsyncEvery = 64
+	}
+}
+
+// Stats counts store activity.
+type Stats struct {
+	Sets     int64
+	Gets     int64
+	Fsyncs   int64
+	AOFBytes int64
+}
+
+// Store is an open AOF store.
+type Store struct {
+	fs    vfs.FileSystem
+	opts  Options
+	aof   vfs.File
+	data  map[string][]byte
+	dirty int
+	stats Stats
+}
+
+// Open creates or recovers the store, replaying the AOF.
+func Open(fs vfs.FileSystem, opts Options) (*Store, error) {
+	opts.fill()
+	s := &Store{fs: fs, opts: opts, data: make(map[string][]byte)}
+	if _, err := fs.Stat(opts.Path); err == nil {
+		if err := s.replay(); err != nil {
+			return nil, err
+		}
+	}
+	f, err := fs.OpenFile(opts.Path, vfs.O_RDWR|vfs.O_CREATE|vfs.O_APPEND, 0644)
+	if err != nil {
+		return nil, err
+	}
+	s.aof = f
+	return s, nil
+}
+
+func (s *Store) replay() error {
+	data, err := vfs.ReadFile(s.fs, s.opts.Path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off+8 <= len(data) {
+		kl := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		vl := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if kl == 0 || off+8+kl+vl > len(data) {
+			break // torn tail
+		}
+		key := string(data[off+8 : off+8+kl])
+		s.data[key] = append([]byte(nil), data[off+8+kl:off+8+kl+vl]...)
+		off += 8 + kl + vl
+	}
+	return nil
+}
+
+// Set stores a key durably-eventually: appended now, fsynced every
+// FsyncEvery sets.
+func (s *Store) Set(key string, val []byte) error {
+	s.stats.Sets++
+	rec := make([]byte, 8+len(key)+len(val))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(val)))
+	copy(rec[8:], key)
+	copy(rec[8+len(key):], val)
+	if _, err := s.aof.Write(rec); err != nil {
+		return err
+	}
+	s.stats.AOFBytes += int64(len(rec))
+	s.data[key] = append([]byte(nil), val...)
+	s.dirty++
+	if s.dirty >= s.opts.FsyncEvery {
+		s.dirty = 0
+		s.stats.Fsyncs++
+		return s.aof.Sync()
+	}
+	return nil
+}
+
+// Get returns the value or vfs.ErrNotExist.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.stats.Gets++
+	v, ok := s.data[key]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return v, nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.data) }
+
+// Stats returns store counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Close fsyncs and closes the AOF.
+func (s *Store) Close() error {
+	if err := s.aof.Sync(); err != nil {
+		return err
+	}
+	return s.aof.Close()
+}

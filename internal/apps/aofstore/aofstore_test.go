@@ -1,0 +1,98 @@
+package aofstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 128 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSetGet(t *testing.T) {
+	s, err := Open(newFS(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := s.Get("absent"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("absent = %v", err)
+	}
+	s.Close()
+}
+
+func TestPeriodicFsync(t *testing.T) {
+	s, _ := Open(newFS(t), Options{FsyncEvery: 10})
+	for i := 0; i < 25; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if got := s.Stats().Fsyncs; got != 2 {
+		t.Fatalf("fsyncs = %d, want 2 (every 10 of 25)", got)
+	}
+	s.Close()
+}
+
+func TestReplayAfterReopen(t *testing.T) {
+	fs := newFS(t)
+	s, _ := Open(fs, Options{})
+	val := bytes.Repeat([]byte("x"), 200)
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("key%03d", i), val)
+	}
+	s.Set("key010", []byte("newest")) // update must win at replay
+	s.Close()
+
+	s2, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 50 {
+		t.Fatalf("replayed %d keys, want 50", s2.Len())
+	}
+	v, err := s2.Get("key010")
+	if err != nil || string(v) != "newest" {
+		t.Fatalf("key010 = %q, %v", v, err)
+	}
+	s2.Close()
+}
+
+func TestAOFGrowsAppendOnly(t *testing.T) {
+	fs := newFS(t)
+	s, _ := Open(fs, Options{})
+	for i := 0; i < 20; i++ {
+		s.Set("same-key", []byte("value"))
+	}
+	s.Close()
+	info, err := fs.Stat("/appendonly.aof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 records of 8+8+5 bytes: the AOF never rewrites in place.
+	if info.Size != 20*(8+8+5) {
+		t.Fatalf("AOF size = %d, want %d", info.Size, 20*(8+8+5))
+	}
+}

@@ -1,0 +1,220 @@
+package lsmkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+// newFS builds a SplitFS-POSIX instance (the store must work on any
+// vfs.FileSystem; SplitFS exercises the staging/relink paths hardest).
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 512 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func newDB(t testing.TB, opts Options) *DB {
+	t.Helper()
+	db, err := Open(newFS(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := newDB(t, Options{})
+	if err := db.Put("alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get("alpha")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := db.Get("missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("missing key = %v", err)
+	}
+	// Overwrite returns the newest value.
+	db.Put("alpha", []byte("2"))
+	v, _ = db.Get("alpha")
+	if string(v) != "2" {
+		t.Fatalf("after update = %q", v)
+	}
+	db.Close()
+}
+
+func TestDelete(t *testing.T) {
+	db := newDB(t, Options{})
+	db.Put("k", []byte("v"))
+	db.Delete("k")
+	if _, err := db.Get("k"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("deleted key = %v", err)
+	}
+	// Deletion survives a flush (tombstone in tables).
+	db.Put("k2", []byte("v2"))
+	db.Delete("k2")
+	db.Flush()
+	if _, err := db.Get("k2"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("deleted key after flush = %v", err)
+	}
+	db.Close()
+}
+
+func TestFlushAndTableReads(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 8 << 10})
+	val := bytes.Repeat([]byte("v"), 100)
+	for i := 0; i < 200; i++ {
+		if err := db.Put(fmt.Sprintf("key%05d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats().Flushes == 0 {
+		t.Fatal("memtable never flushed")
+	}
+	// Every key readable (from memtable, L0, or L1).
+	for i := 0; i < 200; i++ {
+		v, err := db.Get(fmt.Sprintf("key%05d", i))
+		if err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("key%05d: %v", i, err)
+		}
+	}
+	db.Close()
+}
+
+func TestCompaction(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 4 << 10, L0CompactAt: 2})
+	val := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 400; i++ {
+		db.Put(fmt.Sprintf("k%06d", i%100), val) // heavy overwrite
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatal("no compaction happened")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Get(fmt.Sprintf("k%06d", i)); err != nil {
+			t.Fatalf("k%06d lost after compaction: %v", i, err)
+		}
+	}
+	db.Close()
+}
+
+func TestScan(t *testing.T) {
+	db := newDB(t, Options{MemtableBytes: 8 << 10})
+	for i := 0; i < 150; i++ {
+		db.Put(fmt.Sprintf("s%04d", i), []byte{byte(i)})
+	}
+	kvs, err := db.Scan("s0050", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 10 {
+		t.Fatalf("scan returned %d", len(kvs))
+	}
+	for i, kv := range kvs {
+		want := fmt.Sprintf("s%04d", 50+i)
+		if kv.Key != want {
+			t.Fatalf("scan[%d] = %q, want %q", i, kv.Key, want)
+		}
+	}
+	db.Close()
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	fs := newFS(t)
+	db, err := Open(fs, Options{SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put("durable", []byte("yes"))
+	// No Close: simulate an app crash (the FS itself stays intact; WAL
+	// replay must recover the put).
+	db.wal.Sync()
+	db2, err := Open(fs, Options{SyncWrites: true, Dir: db.opts.Dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db2.Get("durable")
+	if err != nil || string(v) != "yes" {
+		t.Fatalf("after WAL recovery: %q, %v", v, err)
+	}
+	db2.Close()
+}
+
+func TestRecoveryAcrossFlush(t *testing.T) {
+	fs := newFS(t)
+	db, _ := Open(fs, Options{MemtableBytes: 4 << 10})
+	val := bytes.Repeat([]byte("r"), 100)
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("r%04d", i), val)
+	}
+	db.Close()
+	db2, err := Open(fs, Options{MemtableBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db2.Get(fmt.Sprintf("r%04d", i)); err != nil {
+			t.Fatalf("r%04d lost across reopen: %v", i, err)
+		}
+	}
+	db2.Close()
+}
+
+// Property: the store agrees with a map model under random operations.
+func TestModelProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		db := newDB(t, Options{MemtableBytes: 4 << 10, L0CompactAt: 3})
+		defer db.Close()
+		rng := sim.NewRNG(seed)
+		model := make(map[string]string)
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("p%03d", rng.Intn(50))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", rng.Uint64())
+				if err := db.Put(k, []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				if err := db.Delete(k); err != nil {
+					return false
+				}
+				delete(model, k)
+			}
+			// Spot-check.
+			ck := fmt.Sprintf("p%03d", rng.Intn(50))
+			v, err := db.Get(ck)
+			want, ok := model[ck]
+			if ok != (err == nil) {
+				t.Logf("seed %d: key %s presence mismatch (model %v, err %v)", seed, ck, ok, err)
+				return false
+			}
+			if ok && string(v) != want {
+				t.Logf("seed %d: key %s = %q want %q", seed, ck, v, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

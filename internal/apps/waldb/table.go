@@ -1,0 +1,127 @@
+package waldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Table is a fixed-row-size keyed table packed into database pages — the
+// record layer TPC-C runs on. Row location (page, slot) is tracked in a
+// DRAM index, as an embedded database's page cache and catalog would be;
+// the page images themselves are fully transactional through the WAL.
+type Table struct {
+	db      *DB
+	name    string
+	rowSize int
+	perPage int
+
+	index    map[uint64]rowLoc
+	pages    []uint32 // pages owned by this table, in allocation order
+	lastFill int      // rows used in the last page
+}
+
+type rowLoc struct {
+	page uint32
+	slot int
+}
+
+// rowHeader is the stored key preceding each row.
+const rowHeader = 8
+
+// NewTable creates a table with the given fixed row size (data bytes,
+// excluding the 8-byte key header).
+func (d *DB) NewTable(name string, rowSize int) (*Table, error) {
+	if rowSize <= 0 || rowSize+rowHeader > PageSize {
+		return nil, fmt.Errorf("waldb: row size %d out of range", rowSize)
+	}
+	return &Table{
+		db:      d,
+		name:    name,
+		rowSize: rowSize,
+		perPage: PageSize / (rowSize + rowHeader),
+		index:   make(map[uint64]rowLoc),
+	}, nil
+}
+
+// allocPage takes the next fresh page of the database.
+func (d *DB) allocPage() uint32 {
+	p := d.nPages
+	d.nPages++
+	return p
+}
+
+// Insert adds a row inside the open transaction. Duplicate keys error.
+func (t *Table) Insert(key uint64, row []byte) error {
+	if len(row) > t.rowSize {
+		return fmt.Errorf("waldb: row too large for table %s", t.name)
+	}
+	if _, ok := t.index[key]; ok {
+		return fmt.Errorf("waldb: duplicate key %d in %s", key, t.name)
+	}
+	if len(t.pages) == 0 || t.lastFill >= t.perPage {
+		t.pages = append(t.pages, t.db.allocPage())
+		t.lastFill = 0
+	}
+	page := t.pages[len(t.pages)-1]
+	slot := t.lastFill
+	t.lastFill++
+	if err := t.writeRow(page, slot, key, row); err != nil {
+		return err
+	}
+	t.index[key] = rowLoc{page: page, slot: slot}
+	return nil
+}
+
+// Update rewrites an existing row.
+func (t *Table) Update(key uint64, row []byte) error {
+	loc, ok := t.index[key]
+	if !ok {
+		return errors.New("waldb: key not found")
+	}
+	return t.writeRow(loc.page, loc.slot, key, row)
+}
+
+// Get reads a row.
+func (t *Table) Get(key uint64) ([]byte, error) {
+	loc, ok := t.index[key]
+	if !ok {
+		return nil, errors.New("waldb: key not found")
+	}
+	page, err := t.db.ReadPage(loc.page)
+	if err != nil {
+		return nil, err
+	}
+	off := loc.slot * (t.rowSize + rowHeader)
+	if got := binary.LittleEndian.Uint64(page[off:]); got != key {
+		return nil, fmt.Errorf("waldb: index corruption in %s: key %d at slot holds %d",
+			t.name, key, got)
+	}
+	return page[off+rowHeader : off+rowHeader+t.rowSize], nil
+}
+
+// Has reports key existence without IO.
+func (t *Table) Has(key uint64) bool {
+	_, ok := t.index[key]
+	return ok
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.index) }
+
+// writeRow updates one slot via read-modify-write of the page inside the
+// transaction.
+func (t *Table) writeRow(pageNo uint32, slot int, key uint64, row []byte) error {
+	page, err := t.db.ReadPage(pageNo)
+	if err != nil {
+		return err
+	}
+	off := slot * (t.rowSize + rowHeader)
+	binary.LittleEndian.PutUint64(page[off:], key)
+	copy(page[off+rowHeader:off+rowHeader+t.rowSize], row)
+	// Zero-pad short rows.
+	for i := off + rowHeader + len(row); i < off+rowHeader+t.rowSize; i++ {
+		page[i] = 0
+	}
+	return t.db.WritePage(pageNo, page)
+}

@@ -1,0 +1,304 @@
+// Package waldb is a SQLite-style transactional page store in
+// write-ahead-logging mode, the substrate for the paper's TPC-C
+// evaluation (§5.2: "SQLite v3.23.1 ... in the Write-Ahead-Logging (WAL)
+// mode"). Transactions buffer page images; commit appends them to the
+// -wal file with a checksummed commit frame and one fsync; a checkpoint
+// copies WAL pages back into the main database file when the WAL grows
+// past a threshold.
+//
+// The file-system pattern is exactly what the paper measures: bursts of
+// multi-page WAL appends + fsync per transaction (overwrite-heavy at
+// steady state thanks to WAL reset), periodic checkpoint writes into the
+// main file, and random page reads.
+package waldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"splitfs/internal/vfs"
+)
+
+// PageSize is the database page size (SQLite default 4096).
+const PageSize = 4096
+
+// Options configure the database.
+type Options struct {
+	// Path of the main database file; the WAL lives at Path + "-wal".
+	Path string
+	// CheckpointPages triggers a checkpoint when the WAL holds this many
+	// frames (SQLite default 1000; scaled default 256).
+	CheckpointPages int
+}
+
+func (o *Options) fill() {
+	if o.Path == "" {
+		o.Path = "/db.sqlite"
+	}
+	if o.CheckpointPages == 0 {
+		o.CheckpointPages = 256
+	}
+}
+
+// Stats counts database activity.
+type Stats struct {
+	Commits     int64
+	PagesLogged int64
+	Checkpoints int64
+	PageReads   int64
+	PageWrites  int64
+}
+
+// DB is an open database.
+type DB struct {
+	fs   vfs.FileSystem
+	opts Options
+	db   vfs.File
+	wal  vfs.File
+
+	// walIndex maps a page number to its newest frame offset in the WAL.
+	walIndex map[uint32]int64
+	walSize  int64
+	nFrames  int
+	nPages   uint32 // pages in the main file
+	stats    Stats
+
+	tx map[uint32][]byte // open transaction's dirty pages
+}
+
+// frame layout: pageNo(4) commitMark(4) checksum(8) page(PageSize).
+const frameSize = 16 + PageSize
+
+// Open creates or recovers a database.
+func Open(fs vfs.FileSystem, opts Options) (*DB, error) {
+	opts.fill()
+	d := &DB{fs: fs, opts: opts, walIndex: make(map[uint32]int64)}
+	var err error
+	d.db, err = fs.OpenFile(opts.Path, vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := d.db.Stat()
+	if err != nil {
+		return nil, err
+	}
+	d.nPages = uint32(info.Size / PageSize)
+	d.wal, err = fs.OpenFile(opts.Path+"-wal", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.recoverWAL(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recoverWAL rebuilds the WAL index, stopping at the last committed
+// frame (SQLite semantics: uncommitted trailing frames are ignored).
+func (d *DB) recoverWAL() error {
+	info, err := d.wal.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	var off int64
+	pending := make(map[uint32]int64)
+	for off+frameSize <= info.Size {
+		if _, err := d.wal.ReadAt(buf, off); err != nil {
+			return err
+		}
+		pageNo := binary.LittleEndian.Uint32(buf[0:4])
+		commit := binary.LittleEndian.Uint32(buf[4:8])
+		sum := binary.LittleEndian.Uint64(buf[8:16])
+		if sum != frameChecksum(pageNo, commit, off) {
+			break // torn frame
+		}
+		pending[pageNo] = off + 16
+		if pageNo >= d.nPages {
+			d.nPages = pageNo + 1
+		}
+		off += frameSize
+		d.nFrames++
+		if commit == 1 {
+			for p, fo := range pending {
+				d.walIndex[p] = fo
+			}
+			pending = make(map[uint32]int64)
+			d.walSize = off
+			d.stats.Commits++
+		}
+	}
+	// Truncate any torn/uncommitted tail.
+	if d.walSize < info.Size {
+		if err := d.wal.Truncate(d.walSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func frameChecksum(pageNo, commit uint32, off int64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	h ^= uint64(pageNo) * 0x100000001b3
+	h ^= uint64(commit) << 32
+	h ^= uint64(off) * 0xff51afd7ed558ccd
+	return h
+}
+
+// Begin starts a transaction. Only one transaction may be open.
+func (d *DB) Begin() error {
+	if d.tx != nil {
+		return errors.New("waldb: transaction already open")
+	}
+	d.tx = make(map[uint32][]byte)
+	return nil
+}
+
+// ReadPage returns a page's current content (transaction-local if dirty,
+// then WAL, then the main file). Pages never written read as zeros.
+func (d *DB) ReadPage(pageNo uint32) ([]byte, error) {
+	d.stats.PageReads++
+	if d.tx != nil {
+		if p, ok := d.tx[pageNo]; ok {
+			return append([]byte(nil), p...), nil
+		}
+	}
+	if off, ok := d.walIndex[pageNo]; ok {
+		p := make([]byte, PageSize)
+		if _, err := d.wal.ReadAt(p, off); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	p := make([]byte, PageSize)
+	if pageNo < d.nPages {
+		// Pages allocated but not yet checkpointed may lie past the main
+		// file's end: they read as zeros, like a sparse database file.
+		if _, err := d.db.ReadAt(p, int64(pageNo)*PageSize); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// WritePage stages a full page image in the open transaction.
+func (d *DB) WritePage(pageNo uint32, page []byte) error {
+	if d.tx == nil {
+		return errors.New("waldb: no open transaction")
+	}
+	if len(page) != PageSize {
+		return fmt.Errorf("waldb: page must be %d bytes", PageSize)
+	}
+	d.stats.PageWrites++
+	d.tx[pageNo] = append([]byte(nil), page...)
+	return nil
+}
+
+// Commit appends the transaction's pages to the WAL (the last frame
+// carries the commit mark), fsyncs once, and publishes the WAL index.
+func (d *DB) Commit() error {
+	if d.tx == nil {
+		return errors.New("waldb: no open transaction")
+	}
+	tx := d.tx
+	d.tx = nil
+	if len(tx) == 0 {
+		return nil
+	}
+	pageNos := make([]uint32, 0, len(tx))
+	for p := range tx {
+		pageNos = append(pageNos, p)
+	}
+	// Deterministic frame order.
+	for i := 1; i < len(pageNos); i++ {
+		for j := i; j > 0 && pageNos[j] < pageNos[j-1]; j-- {
+			pageNos[j], pageNos[j-1] = pageNos[j-1], pageNos[j]
+		}
+	}
+	frame := make([]byte, frameSize)
+	newIndex := make(map[uint32]int64, len(pageNos))
+	for i, p := range pageNos {
+		commit := uint32(0)
+		if i == len(pageNos)-1 {
+			commit = 1
+		}
+		binary.LittleEndian.PutUint32(frame[0:4], p)
+		binary.LittleEndian.PutUint32(frame[4:8], commit)
+		binary.LittleEndian.PutUint64(frame[8:16], frameChecksum(p, commit, d.walSize))
+		copy(frame[16:], tx[p])
+		if _, err := d.wal.WriteAt(frame, d.walSize); err != nil {
+			return err
+		}
+		newIndex[p] = d.walSize + 16
+		d.walSize += frameSize
+		d.nFrames++
+		d.stats.PagesLogged++
+		if p >= d.nPages {
+			d.nPages = p + 1
+		}
+	}
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
+	for p, off := range newIndex {
+		d.walIndex[p] = off
+	}
+	d.stats.Commits++
+	if d.nFrames >= d.opts.CheckpointPages {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
+// Rollback discards the open transaction.
+func (d *DB) Rollback() {
+	d.tx = nil
+}
+
+// Checkpoint copies every WAL page into the main database file, fsyncs
+// it, and resets the WAL.
+func (d *DB) Checkpoint() error {
+	if len(d.walIndex) == 0 {
+		return nil
+	}
+	d.stats.Checkpoints++
+	page := make([]byte, PageSize)
+	for pageNo, off := range d.walIndex {
+		if _, err := d.wal.ReadAt(page, off); err != nil {
+			return err
+		}
+		if _, err := d.db.WriteAt(page, int64(pageNo)*PageSize); err != nil {
+			return err
+		}
+	}
+	if err := d.db.Sync(); err != nil {
+		return err
+	}
+	if err := d.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := d.wal.Sync(); err != nil {
+		return err
+	}
+	d.walIndex = make(map[uint32]int64)
+	d.walSize = 0
+	d.nFrames = 0
+	return nil
+}
+
+// Stats returns database counters.
+func (d *DB) Stats() Stats { return d.stats }
+
+// Close checkpoints and closes the database.
+func (d *DB) Close() error {
+	if d.tx != nil {
+		d.Rollback()
+	}
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	d.wal.Close()
+	return d.db.Close()
+}

@@ -1,0 +1,191 @@
+package waldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func page(fill byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = fill
+	}
+	return p
+}
+
+func TestCommitAndRead(t *testing.T) {
+	d, err := Open(newFS(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	d.WritePage(0, page(1))
+	d.WritePage(5, page(2))
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ReadPage(5)
+	if err != nil || p[100] != 2 {
+		t.Fatalf("page 5 = %d, %v", p[100], err)
+	}
+	// Unwritten pages read as zeros.
+	p, _ = d.ReadPage(3)
+	if !bytes.Equal(p, make([]byte, PageSize)) {
+		t.Fatal("page 3 not zero")
+	}
+	d.Close()
+}
+
+func TestRollback(t *testing.T) {
+	d, _ := Open(newFS(t), Options{})
+	d.Begin()
+	d.WritePage(0, page(9))
+	d.Rollback()
+	p, _ := d.ReadPage(0)
+	if p[0] != 0 {
+		t.Fatal("rolled-back write visible")
+	}
+	// Tx reads see own writes before commit.
+	d.Begin()
+	d.WritePage(0, page(7))
+	p, _ = d.ReadPage(0)
+	if p[0] != 7 {
+		t.Fatal("transaction cannot read its own write")
+	}
+	d.Commit()
+	d.Close()
+}
+
+func TestCheckpointMovesPagesToMainFile(t *testing.T) {
+	fs := newFS(t)
+	d, _ := Open(fs, Options{CheckpointPages: 8})
+	for i := 0; i < 12; i++ {
+		d.Begin()
+		d.WritePage(uint32(i), page(byte(i+1)))
+		if err := d.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().Checkpoints == 0 {
+		t.Fatal("checkpoint never ran")
+	}
+	for i := 0; i < 12; i++ {
+		p, err := d.ReadPage(uint32(i))
+		if err != nil || p[0] != byte(i+1) {
+			t.Fatalf("page %d after checkpoint: %d, %v", i, p[0], err)
+		}
+	}
+	d.Close()
+}
+
+func TestWALRecoveryCommittedOnly(t *testing.T) {
+	fs := newFS(t)
+	d, _ := Open(fs, Options{CheckpointPages: 1 << 20})
+	d.Begin()
+	d.WritePage(1, page(0xAA))
+	d.Commit()
+	// Hand-write a torn (uncommitted) frame at the WAL tail.
+	wal, _ := fs.OpenFile("/db.sqlite-wal", vfs.O_RDWR, 0)
+	info, _ := wal.Stat()
+	junk := make([]byte, frameSize)
+	binary.LittleEndian.PutUint32(junk[0:4], 2)
+	wal.WriteAt(junk, info.Size)
+	wal.Close()
+
+	d2, err := Open(fs, Options{CheckpointPages: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d2.ReadPage(1)
+	if err != nil || p[0] != 0xAA {
+		t.Fatalf("committed page lost: %v", err)
+	}
+	p, _ = d2.ReadPage(2)
+	if p[0] != 0 {
+		t.Fatal("torn frame replayed")
+	}
+	d2.Close()
+}
+
+func TestTableInsertUpdateGet(t *testing.T) {
+	d, _ := Open(newFS(t), Options{})
+	tbl, err := d.NewTable("t", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin()
+	for i := uint64(1); i <= 100; i++ {
+		row := make([]byte, 100)
+		binary.LittleEndian.PutUint64(row, i*7)
+		if err := tbl.Insert(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	d.Begin()
+	row, err := tbl.Get(50)
+	if err != nil || binary.LittleEndian.Uint64(row) != 350 {
+		t.Fatalf("Get(50) = %v, %v", row, err)
+	}
+	mod := append([]byte(nil), row...)
+	binary.LittleEndian.PutUint64(mod, 999)
+	if err := tbl.Update(50, mod); err != nil {
+		t.Fatal(err)
+	}
+	d.Commit()
+	d.Begin()
+	row, _ = tbl.Get(50)
+	d.Rollback()
+	if binary.LittleEndian.Uint64(row) != 999 {
+		t.Fatalf("updated row = %d", binary.LittleEndian.Uint64(row))
+	}
+	// Duplicate insert fails.
+	d.Begin()
+	if err := tbl.Insert(50, row); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	d.Rollback()
+	d.Close()
+}
+
+func TestTableRowTooLarge(t *testing.T) {
+	d, _ := Open(newFS(t), Options{})
+	if _, err := d.NewTable("big", PageSize); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	tbl, _ := d.NewTable("t", 64)
+	d.Begin()
+	if err := tbl.Insert(1, make([]byte, 65)); err == nil {
+		t.Fatal("oversized row accepted at insert")
+	}
+	d.Rollback()
+	d.Close()
+}

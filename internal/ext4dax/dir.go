@@ -1,0 +1,200 @@
+package ext4dax
+
+import (
+	"encoding/binary"
+
+	"splitfs/internal/alloc"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func getU16(b []byte) uint16    { return binary.LittleEndian.Uint16(b) }
+
+// ensureDir populates a directory inode's entry cache from its data
+// blocks (the dcache fill on first access). Caller holds fs.mu.
+func (fs *FS) ensureDir(in *inode) error {
+	if in.entries != nil {
+		return nil
+	}
+	in.entries = make(map[string]*dirEntry)
+	in.tailOff = 0
+	nblocks := in.blocks
+	for b := int64(0); b < nblocks; b++ {
+		devOff, ok := fs.blockOf(in, b)
+		if !ok {
+			continue
+		}
+		blk := make([]byte, sim.BlockSize)
+		fs.dev.ReadAt(blk, devOff, sim.CatPMMeta)
+		pos := int64(0)
+		for pos+12 <= sim.BlockSize {
+			ino := getU64(blk[pos : pos+8])
+			nameLen := int64(getU16(blk[pos+8 : pos+10]))
+			if nameLen == 0 { // end of records in this block
+				break
+			}
+			if pos+12+nameLen > sim.BlockSize {
+				break // corrupt tail; treat as end
+			}
+			if ino != 0 { // not a tombstone
+				name := string(blk[pos+12 : pos+12+nameLen])
+				in.entries[name] = &dirEntry{
+					name:   name,
+					ino:    ino,
+					isDir:  blk[pos+10] == 1,
+					devOff: devOff + pos,
+				}
+			}
+			pos += 12 + nameLen
+			in.tailOff = b*sim.BlockSize + pos
+		}
+	}
+	return nil
+}
+
+// addDirent appends a directory entry record to the directory file,
+// allocating a block when needed, and updates the cache. Caller holds
+// fs.mu.
+func (fs *FS) addDirent(dir *inode, name string, ino uint64, isDir bool) error {
+	fs.clk.Charge(sim.CatCPU, sim.Ext4DirOpNs)
+	if err := fs.ensureDir(dir); err != nil {
+		return err
+	}
+	rec := encodeDirent(ino, isDir, name)
+	need := int64(len(rec))
+	// Records never straddle a block boundary: skip to the next block if
+	// the remainder cannot hold this record.
+	if rem := sim.BlockSize - dir.tailOff%sim.BlockSize; rem < need {
+		dir.tailOff += rem
+	}
+	// Grow the directory file if the tail is past the allocated blocks.
+	for dir.tailOff+need > dir.blocks*sim.BlockSize {
+		e, dirty, err := fs.bBmp.AllocExtent(1)
+		if err != nil {
+			return err
+		}
+		fs.note(dirty.Off, dirty.Len)
+		// Zero the fresh directory block so record parsing terminates.
+		fs.dev.Store(fs.bBmp.ExtentOffset(e), make([]byte, sim.BlockSize), sim.CatPMMeta)
+		fs.note(fs.bBmp.ExtentOffset(e), sim.BlockSize)
+		appendFileExtent(dir, e)
+		dir.blocks += e.Len
+	}
+	devOff, ok := fs.blockOf(dir, dir.tailOff/sim.BlockSize)
+	if !ok {
+		return vfs.ErrInval
+	}
+	devOff += dir.tailOff % sim.BlockSize
+	fs.dev.Store(devOff, rec, sim.CatPMMeta)
+	fs.note(devOff, len(rec))
+	dir.entries[name] = &dirEntry{name: name, ino: ino, isDir: isDir, devOff: devOff}
+	dir.tailOff += need
+	if dir.tailOff > dir.size {
+		dir.size = dir.tailOff
+	}
+	fs.writeInode(dir)
+	return nil
+}
+
+// removeDirent tombstones an entry on disk and removes it from the cache.
+// Caller holds fs.mu.
+func (fs *FS) removeDirent(dir *inode, name string) (*dirEntry, error) {
+	fs.clk.Charge(sim.CatCPU, sim.Ext4DirOpNs)
+	if err := fs.ensureDir(dir); err != nil {
+		return nil, err
+	}
+	de, ok := dir.entries[name]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	// Tombstone: zero the ino field, keep nameLen so parsers skip it.
+	var zero [8]byte
+	fs.dev.Store(de.devOff, zero[:], sim.CatPMMeta)
+	fs.note(de.devOff, 8)
+	delete(dir.entries, name)
+	return de, nil
+}
+
+// resolve walks a cleaned path to its inode. Caller holds fs.mu.
+func (fs *FS) resolve(path string) (*inode, error) {
+	parts := vfs.SplitPath(path)
+	cur := fs.icache[RootIno]
+	for _, name := range parts {
+		if !cur.isDir {
+			return nil, vfs.ErrNotDir
+		}
+		fs.clk.Charge(sim.CatCPU, sim.Ext4DirOpNs)
+		if err := fs.ensureDir(cur); err != nil {
+			return nil, err
+		}
+		de, ok := cur.entries[name]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		next, ok := fs.icache[de.ino]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolveDir resolves the parent directory of a path and returns it with
+// the base name. Caller holds fs.mu.
+func (fs *FS) resolveDir(path string) (*inode, string, error) {
+	dir, base := vfs.SplitDir(vfs.CleanPath(path))
+	if base == "" {
+		return nil, "", vfs.ErrInval
+	}
+	parent, err := fs.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir {
+		return nil, "", vfs.ErrNotDir
+	}
+	if err := fs.ensureDir(parent); err != nil {
+		return nil, "", err
+	}
+	// The caller will look up or insert base in this directory.
+	fs.clk.Charge(sim.CatCPU, sim.Ext4DirOpNs)
+	return parent, base, nil
+}
+
+// allocInode reserves a fresh inode number. Caller holds fs.mu.
+func (fs *FS) allocInode(isDir bool) (*inode, error) {
+	e, dirty, err := fs.iBmp.AllocExtent(1)
+	if err != nil {
+		return nil, err
+	}
+	fs.note(dirty.Off, dirty.Len)
+	in := &inode{ino: uint64(e.Start), isDir: isDir, nlink: 1}
+	if isDir {
+		in.nlink = 2
+		in.entries = make(map[string]*dirEntry)
+	}
+	fs.icache[in.ino] = in
+	return in, nil
+}
+
+// freeInode releases an inode's data blocks, overflow blocks, and number.
+// Caller holds fs.mu.
+func (fs *FS) freeInode(in *inode) {
+	for _, e := range in.extents {
+		dirty := fs.bBmp.Free(e.phys)
+		fs.note(dirty.Off, dirty.Len)
+	}
+	for _, blk := range in.overflow {
+		dirty := fs.bBmp.Free(alloc.Extent{Start: blk, Len: 1})
+		fs.note(dirty.Off, dirty.Len)
+	}
+	in.extents, in.overflow = nil, nil
+	dirty := fs.iBmp.Free(alloc.Extent{Start: int64(in.ino), Len: 1})
+	fs.note(dirty.Off, dirty.Len)
+	delete(fs.icache, in.ino)
+}

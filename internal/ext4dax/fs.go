@@ -1,0 +1,319 @@
+package ext4dax
+
+import (
+	"fmt"
+	"sync"
+
+	"splitfs/internal/alloc"
+	"splitfs/internal/journal"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// Config holds format-time parameters.
+type Config struct {
+	// JournalBlocks is the size of the JBD2 journal region (default 256
+	// blocks = 1 MB).
+	JournalBlocks int64
+	// MaxInodes bounds the inode table (default 4096).
+	MaxInodes int64
+	// TxCommitThreshold commits the running transaction once it has noted
+	// this many ranges, emulating jbd2's transaction-size trigger
+	// (default 128).
+	TxCommitThreshold int
+}
+
+func (c *Config) fill() {
+	if c.JournalBlocks == 0 {
+		c.JournalBlocks = 256
+	}
+	if c.MaxInodes == 0 {
+		c.MaxInodes = 4096
+	}
+	if c.TxCommitThreshold == 0 {
+		c.TxCommitThreshold = 128
+	}
+}
+
+// Stats count file-system level activity.
+type Stats struct {
+	Traps      int64 // kernel entries
+	DataReads  int64
+	DataWrites int64
+	MetaOps    int64
+	Commits    int64
+}
+
+// FS is the ext4 DAX file system (K-Split).
+type FS struct {
+	dev *pmem.Device
+	clk *sim.Clock
+	cfg Config
+	lay Layout
+
+	mu     sync.Mutex
+	jnl    *journal.Journal
+	iBmp   *alloc.Bitmap // inode numbers (block numbers double as inos)
+	bBmp   *alloc.Bitmap // data blocks
+	icache map[uint64]*inode
+	tx     *journal.Tx
+	txN    int
+
+	stats Stats
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// Mkfs formats the device and returns a mounted file system.
+func Mkfs(dev *pmem.Device, cfg Config) (*FS, error) {
+	cfg.fill()
+	lay, err := computeLayout(dev.Size(), cfg.JournalBlocks, cfg.MaxInodes)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:    dev,
+		clk:    dev.Clock(),
+		cfg:    cfg,
+		lay:    lay,
+		icache: make(map[uint64]*inode),
+	}
+	fs.jnl = journal.New(dev, lay.JournalOff, lay.JournalBlocks)
+	fs.iBmp = alloc.New(dev, lay.InodeBmpOff, 0, lay.MaxInodes)
+	fs.bBmp = alloc.New(dev, lay.BlockBmpOff, lay.DataOff, lay.DataBlocks)
+
+	// Zero the bitmap regions and persist the superblock.
+	zero := make([]byte, lay.InodeBmpLen)
+	dev.PersistNT(lay.InodeBmpOff, zero, sim.CatPMMeta)
+	zero = make([]byte, lay.BlockBmpLen)
+	dev.PersistNT(lay.BlockBmpOff, zero, sim.CatPMMeta)
+	dev.PersistNT(lay.SuperOff, encodeSuper(lay), sim.CatPMMeta)
+
+	// Reserve ino 0 (invalid) and create the root directory as ino 1.
+	fs.beginTx()
+	for i := 0; i < 2; i++ {
+		if _, _, err := fs.iBmp.AllocExtent(1); err != nil {
+			return nil, err
+		}
+	}
+	// Note the inode bitmap byte containing inos 0..7.
+	fs.tx.Note(lay.InodeBmpOff, 1)
+	root := &inode{ino: RootIno, isDir: true, nlink: 2, entries: make(map[string]*dirEntry)}
+	fs.icache[RootIno] = root
+	fs.writeInode(root)
+	if err := fs.commitTx(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount attaches to a previously formatted device, replaying the journal
+// and rebuilding the DRAM caches. Returns the file system and the number
+// of journal transactions replayed.
+func Mount(dev *pmem.Device, cfg Config) (*FS, int, error) {
+	cfg.fill()
+	super := make([]byte, 128)
+	dev.ReadAt(super, 0, sim.CatPMMeta)
+	jblocks, maxInodes, err := decodeSuper(super)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg.JournalBlocks, cfg.MaxInodes = jblocks, maxInodes
+	lay, err := computeLayout(dev.Size(), jblocks, maxInodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	fs := &FS{
+		dev:    dev,
+		clk:    dev.Clock(),
+		cfg:    cfg,
+		lay:    lay,
+		icache: make(map[uint64]*inode),
+	}
+	fs.jnl, _, err = journal.Load(dev, lay.JournalOff, lay.JournalBlocks)
+	if err != nil {
+		return nil, 0, err
+	}
+	replayed := int(fs.jnl.Stats().Replayed)
+	fs.iBmp = alloc.Load(dev, lay.InodeBmpOff, 0, lay.MaxInodes)
+	fs.bBmp = alloc.Load(dev, lay.BlockBmpOff, lay.DataOff, lay.DataBlocks)
+	// Load every allocated inode. A set bitmap bit with an unreadable
+	// inode record is the remnant of an uncommitted create whose dirty
+	// cache lines partially reached the media before the crash; like
+	// e2fsck, treat the inode as free and move on — the create never
+	// committed, so discarding it preserves metadata consistency.
+	for ino := int64(1); ino < lay.MaxInodes; ino++ {
+		if !fs.iBmp.Allocated(ino) {
+			continue
+		}
+		in, err := fs.readInode(uint64(ino))
+		if err != nil {
+			fs.iBmp.Free(alloc.Extent{Start: ino, Len: 1})
+			continue
+		}
+		fs.icache[uint64(ino)] = in
+	}
+	if _, ok := fs.icache[RootIno]; !ok {
+		return nil, 0, fmt.Errorf("ext4dax: no root inode")
+	}
+	return fs, replayed, nil
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return "ext4-dax" }
+
+// Device returns the underlying PM device.
+func (fs *FS) Device() *pmem.Device { return fs.dev }
+
+// Stats returns a snapshot of file-system counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// FreeBlocks reports remaining data capacity in blocks.
+func (fs *FS) FreeBlocks() int64 { return fs.bBmp.FreeCount() }
+
+// trap charges one user/kernel crossing.
+func (fs *FS) trap() {
+	fs.clk.Charge(sim.CatKernelTrap, sim.KernelTrapNs)
+	fs.stats.Traps++
+}
+
+// beginTx ensures a running transaction exists. Caller holds fs.mu.
+func (fs *FS) beginTx() {
+	if fs.tx == nil {
+		fs.tx = fs.jnl.Begin()
+		fs.txN = 0
+	}
+}
+
+// note adds a modified range to the running transaction. Caller holds
+// fs.mu.
+func (fs *FS) note(off int64, n int) {
+	fs.beginTx()
+	fs.tx.Note(off, n)
+	fs.txN++
+}
+
+// maybeCommit commits the running transaction once it has grown past the
+// jbd2-style threshold. Called at operation boundaries only, so a commit
+// never splits one operation's updates. Caller holds fs.mu.
+func (fs *FS) maybeCommit() {
+	if fs.txN >= fs.cfg.TxCommitThreshold {
+		if err := fs.commitTx(); err != nil {
+			// A threshold commit failing means the journal is too small
+			// for the configured threshold; surface loudly rather than
+			// corrupting.
+			panic(fmt.Sprintf("ext4dax: threshold commit failed: %v", err))
+		}
+	}
+}
+
+// commitTx commits the running transaction, if any. Caller holds fs.mu.
+func (fs *FS) commitTx() error {
+	if fs.tx == nil {
+		return nil
+	}
+	tx := fs.tx
+	fs.tx = nil
+	fs.txN = 0
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	fs.stats.Commits++
+	return nil
+}
+
+// inodeOff returns the device offset of an inode record.
+func (fs *FS) inodeOff(ino uint64) int64 {
+	return fs.lay.InodeTblOff + int64(ino)*inodeSize
+}
+
+// writeInode serializes an inode (and its overflow extent blocks) to the
+// device with cached stores and notes the ranges in the running
+// transaction. Caller holds fs.mu.
+func (fs *FS) writeInode(in *inode) {
+	fs.clk.Charge(sim.CatCPU, sim.Ext4ExtentUpdateNs)
+	// Overflow blocks: everything past the inline extents, in chunks.
+	overflowNeeded := 0
+	if len(in.extents) > inlineExtents {
+		overflowNeeded = (len(in.extents) - inlineExtents + overflowCap - 1) / overflowCap
+	}
+	// Allocate or free overflow blocks to match.
+	for len(in.overflow) < overflowNeeded {
+		e, dirty, err := fs.bBmp.AllocExtent(1)
+		if err != nil {
+			panic("ext4dax: no space for extent overflow block")
+		}
+		fs.note(dirty.Off, dirty.Len)
+		in.overflow = append(in.overflow, e.Start)
+	}
+	for len(in.overflow) > overflowNeeded {
+		last := in.overflow[len(in.overflow)-1]
+		in.overflow = in.overflow[:len(in.overflow)-1]
+		dirty := fs.bBmp.Free(alloc.Extent{Start: last, Len: 1})
+		fs.note(dirty.Off, dirty.Len)
+	}
+	rec := in.encode()
+	off := fs.inodeOff(in.ino)
+	fs.dev.Store(off, rec, sim.CatPMMeta)
+	fs.note(off, len(rec))
+	// Write overflow chains.
+	rest := in.extents
+	if len(rest) > inlineExtents {
+		rest = rest[inlineExtents:]
+	} else {
+		rest = nil
+	}
+	for i, blk := range in.overflow {
+		chunk := rest
+		if len(chunk) > overflowCap {
+			chunk = chunk[:overflowCap]
+		}
+		rest = rest[len(chunk):]
+		buf := make([]byte, overflowHeader+len(chunk)*extentRecSize)
+		next := int64(0)
+		if i+1 < len(in.overflow) {
+			next = in.overflow[i+1]
+		}
+		putU64(buf[0:8], uint64(next))
+		putU32(buf[8:12], uint32(len(chunk)))
+		for k, e := range chunk {
+			putExtent(buf[overflowHeader+k*extentRecSize:], e)
+		}
+		devOff := fs.bBmp.BlockOffset(blk)
+		fs.dev.Store(devOff, buf, sim.CatPMMeta)
+		fs.note(devOff, len(buf))
+		_ = i
+	}
+}
+
+// readInode loads an inode record and its overflow chain from the device.
+func (fs *FS) readInode(ino uint64) (*inode, error) {
+	rec := make([]byte, inodeSize)
+	fs.dev.ReadAt(rec, fs.inodeOff(ino), sim.CatPMMeta)
+	in, next, err := decodeInode(ino, rec)
+	if err != nil {
+		return nil, err
+	}
+	for next != 0 {
+		in.overflow = append(in.overflow, next)
+		hdr := make([]byte, overflowHeader)
+		devOff := fs.bBmp.BlockOffset(next)
+		fs.dev.ReadAt(hdr, devOff, sim.CatPMMeta)
+		cnt := int(getU32(hdr[8:12]))
+		if cnt > overflowCap {
+			return nil, fmt.Errorf("ext4dax: inode %d corrupt overflow block", ino)
+		}
+		buf := make([]byte, cnt*extentRecSize)
+		fs.dev.ReadAt(buf, devOff+overflowHeader, sim.CatPMMeta)
+		for k := 0; k < cnt; k++ {
+			in.extents = append(in.extents, getExtent(buf[k*extentRecSize:]))
+		}
+		next = int64(getU64(hdr[0:8]))
+	}
+	return in, nil
+}

@@ -1,0 +1,236 @@
+// Package ext4dax implements the kernel side of SplitFS: an extent-based
+// DAX file system in the style of ext4, with a JBD2 journal for metadata
+// atomicity, direct-access memory mapping, and the EXT4_IOC_MOVE_EXT
+// extent-swap ioctl extended with the paper's metadata-only relink
+// (§3.5). It is the K-Split component and also the POSIX-mode baseline in
+// the evaluation.
+//
+// Semantics (matching ext4 DAX in ordered mode):
+//
+//   - Metadata operations are batched in a running journal transaction and
+//     become durable on fsync (or when the transaction grows large).
+//     Recovery replays committed transactions, giving metadata
+//     consistency — the paper's POSIX-mode guarantee.
+//   - Data writes go straight to PM with non-temporal stores; they are
+//     durable after fsync's fence. Appends are not atomic: a crash can
+//     leave the file with any prefix of the appended data.
+//
+// Every public entry point charges a kernel trap, since this file system
+// lives across the syscall boundary.
+package ext4dax
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splitfs/internal/alloc"
+	"splitfs/internal/sim"
+)
+
+const (
+	superMagic = 0xE47DA9 // "ext4 dax", roughly
+
+	// inodeSize is the on-disk inode record size.
+	inodeSize = 512
+	// inlineExtents is how many extents fit in the inode record.
+	inlineExtents = 19
+	// extentRecSize is the on-disk size of one extent record:
+	// logical block (8) + physical start (8) + length (8).
+	extentRecSize = 24
+	// overflowHeader is next-pointer (8) + count (4) + pad (4).
+	overflowHeader = 16
+	// overflowCap is how many extents fit in a 4 KB overflow block.
+	overflowCap = (sim.BlockSize - overflowHeader) / extentRecSize
+
+	// RootIno is the inode number of the root directory.
+	RootIno = 1
+)
+
+// Layout describes where each on-device region lives, in bytes.
+type Layout struct {
+	SuperOff      int64
+	JournalOff    int64
+	JournalBlocks int64
+	InodeBmpOff   int64
+	InodeBmpLen   int64
+	BlockBmpOff   int64
+	BlockBmpLen   int64
+	InodeTblOff   int64
+	MaxInodes     int64
+	DataOff       int64
+	DataBlocks    int64
+}
+
+// computeLayout slices a device of size bytes into regions.
+func computeLayout(size int64, journalBlocks, maxInodes int64) (Layout, error) {
+	var l Layout
+	l.SuperOff = 0
+	l.JournalOff = sim.BlockSize
+	l.JournalBlocks = journalBlocks
+	l.InodeBmpOff = l.JournalOff + journalBlocks*sim.BlockSize
+	l.InodeBmpLen = roundUp(alloc.BitmapBytes(maxInodes), sim.BlockSize)
+	l.MaxInodes = maxInodes
+	l.InodeTblOff = l.InodeBmpOff + l.InodeBmpLen
+	tblLen := roundUp(maxInodes*inodeSize, sim.BlockSize)
+	l.BlockBmpOff = l.InodeTblOff + tblLen
+
+	// Solve for the number of data blocks that fit with their bitmap.
+	remaining := size - l.BlockBmpOff
+	if remaining < 16*sim.BlockSize {
+		return l, fmt.Errorf("ext4dax: device too small (%d bytes)", size)
+	}
+	// Each data block costs 4096 bytes + 1/8 byte of bitmap.
+	nData := (remaining - sim.BlockSize) * 8 / (8*sim.BlockSize + 1)
+	l.BlockBmpLen = roundUp(alloc.BitmapBytes(nData), sim.BlockSize)
+	l.DataOff = l.BlockBmpOff + l.BlockBmpLen
+	l.DataBlocks = (size - l.DataOff) / sim.BlockSize
+	if l.DataBlocks < 8 {
+		return l, fmt.Errorf("ext4dax: device too small for data (%d bytes)", size)
+	}
+	return l, nil
+}
+
+func roundUp(n, m int64) int64 { return (n + m - 1) / m * m }
+
+// encodeSuper serializes the superblock.
+func encodeSuper(l Layout) []byte {
+	b := make([]byte, 128)
+	binary.LittleEndian.PutUint32(b[0:4], superMagic)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(l.JournalBlocks))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(l.MaxInodes))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(l.DataBlocks))
+	return b
+}
+
+// decodeSuper validates and returns the format parameters.
+func decodeSuper(b []byte) (journalBlocks, maxInodes int64, err error) {
+	if binary.LittleEndian.Uint32(b[0:4]) != superMagic {
+		return 0, 0, fmt.Errorf("ext4dax: bad superblock magic %#x",
+			binary.LittleEndian.Uint32(b[0:4]))
+	}
+	return int64(binary.LittleEndian.Uint64(b[8:16])),
+		int64(binary.LittleEndian.Uint64(b[16:24])), nil
+}
+
+// fileExtent maps a run of logical file blocks onto physical blocks.
+type fileExtent struct {
+	logical int64 // first logical block in the file
+	phys    alloc.Extent
+}
+
+func (e fileExtent) logicalEnd() int64 { return e.logical + e.phys.Len }
+
+// inode is the in-DRAM (icache) representation of an on-disk inode.
+type inode struct {
+	ino      uint64
+	isDir    bool
+	nlink    uint32
+	size     int64
+	blocks   int64 // allocated block count
+	extents  []fileExtent
+	overflow []int64 // physical block numbers of overflow extent blocks
+	// uwm is an opaque user watermark, part of the SplitFS kernel patch:
+	// U-Split stores its operation-log sequence number here during relink
+	// so that crash recovery can tell which log entries the relink
+	// already covered. Updated in the same journal transaction as the
+	// relink, hence atomic with it.
+	uwm uint64
+	// dir state, populated lazily for directories
+	entries map[string]*dirEntry
+	tailOff int64 // next free byte inside the directory file
+}
+
+// encode serializes the inode header and inline extents into a 512-byte
+// record. Extents beyond the inline area live in overflow blocks encoded
+// separately.
+func (in *inode) encode() []byte {
+	b := make([]byte, inodeSize)
+	binary.LittleEndian.PutUint32(b[0:4], 0x1A0DE)
+	if in.isDir {
+		b[4] = 1
+	}
+	binary.LittleEndian.PutUint32(b[8:12], in.nlink)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(in.size))
+	binary.LittleEndian.PutUint64(b[24:32], uint64(in.blocks))
+	n := len(in.extents)
+	if n > inlineExtents {
+		n = inlineExtents
+	}
+	binary.LittleEndian.PutUint32(b[32:36], uint32(n))
+	next := int64(0)
+	if len(in.overflow) > 0 {
+		next = in.overflow[0]
+	}
+	binary.LittleEndian.PutUint64(b[40:48], uint64(next))
+	for i := 0; i < n; i++ {
+		putExtent(b[48+i*extentRecSize:], in.extents[i])
+	}
+	binary.LittleEndian.PutUint64(b[504:512], in.uwm)
+	return b
+}
+
+func putExtent(b []byte, e fileExtent) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(e.logical))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(e.phys.Start))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(e.phys.Len))
+}
+
+func getExtent(b []byte) fileExtent {
+	return fileExtent{
+		logical: int64(binary.LittleEndian.Uint64(b[0:8])),
+		phys: alloc.Extent{
+			Start: int64(binary.LittleEndian.Uint64(b[8:16])),
+			Len:   int64(binary.LittleEndian.Uint64(b[16:24])),
+		},
+	}
+}
+
+// decodeInode parses an on-disk inode record. Overflow extents are
+// resolved by the caller (it needs device access).
+func decodeInode(ino uint64, b []byte) (*inode, int64, error) {
+	if binary.LittleEndian.Uint32(b[0:4]) != 0x1A0DE {
+		return nil, 0, fmt.Errorf("ext4dax: bad inode magic for ino %d", ino)
+	}
+	in := &inode{
+		ino:    ino,
+		isDir:  b[4] == 1,
+		nlink:  binary.LittleEndian.Uint32(b[8:12]),
+		size:   int64(binary.LittleEndian.Uint64(b[16:24])),
+		blocks: int64(binary.LittleEndian.Uint64(b[24:32])),
+		uwm:    binary.LittleEndian.Uint64(b[504:512]),
+	}
+	n := int(binary.LittleEndian.Uint32(b[32:36]))
+	if n > inlineExtents {
+		return nil, 0, fmt.Errorf("ext4dax: inode %d inline extent count %d", ino, n)
+	}
+	for i := 0; i < n; i++ {
+		in.extents = append(in.extents, getExtent(b[48+i*extentRecSize:]))
+	}
+	next := int64(binary.LittleEndian.Uint64(b[40:48]))
+	return in, next, nil
+}
+
+// dirEntry is a cached directory entry plus the device offset of its
+// on-disk record, so unlink can tombstone it directly.
+type dirEntry struct {
+	name   string
+	ino    uint64
+	isDir  bool
+	devOff int64
+}
+
+// direntSize returns the on-disk size of an entry with the given name.
+func direntSize(name string) int64 { return 12 + int64(len(name)) }
+
+// encodeDirent serializes a directory entry record:
+// ino (8) | nameLen (2) | isDir (1) | pad (1) | name.
+func encodeDirent(ino uint64, isDir bool, name string) []byte {
+	b := make([]byte, direntSize(name))
+	binary.LittleEndian.PutUint64(b[0:8], ino)
+	binary.LittleEndian.PutUint16(b[8:10], uint16(len(name)))
+	if isDir {
+		b[10] = 1
+	}
+	copy(b[12:], name)
+	return b
+}

@@ -1,0 +1,271 @@
+package ext4dax
+
+import (
+	"bytes"
+	"testing"
+
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+func TestMmapLoadStore(t *testing.T) {
+	dev, fs := newFS(t)
+	f, _ := vfs.Create(fs, "/m")
+	want := bytes.Repeat([]byte("abcd"), sim.BlockSize) // 16 KB
+	f.Write(want)
+	f.Sync()
+
+	m, err := fs.Mmap(f.(*File), 0, int64(len(want)), MmapOptions{Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if n := m.Load(got, 0); n != len(want) {
+		t.Fatalf("Load = %d", n)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mmap read mismatch")
+	}
+
+	// Store through the mapping; visible via read() and durable after
+	// fence.
+	traps := fs.Stats().Traps
+	m.StoreNT([]byte("ZZZZ"), 8)
+	m.Fence()
+	if fs.Stats().Traps != traps {
+		t.Fatal("mmap store trapped into the kernel")
+	}
+	if err := dev.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, err := Mount(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := vfs.ReadFile(fs2, "/m")
+	if string(data[8:12]) != "ZZZZ" {
+		t.Fatalf("mmap store lost: %q", data[8:12])
+	}
+}
+
+func TestMmapClampsToAllocation(t *testing.T) {
+	_, fs := newFS(t)
+	f, _ := vfs.Create(fs, "/small")
+	f.Write(make([]byte, 100)) // one block allocated
+	m, err := fs.Mmap(f.(*File), 0, 2<<20, MmapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Length != sim.BlockSize {
+		t.Fatalf("mapping length = %d, want one block", m.Length)
+	}
+	// Mapping an offset past allocation fails.
+	if _, err := fs.Mmap(f.(*File), 4096, 4096, MmapOptions{}); err == nil {
+		t.Fatal("mmap past allocation succeeded")
+	}
+}
+
+func TestMmapFirstTouchFaults(t *testing.T) {
+	dev, fs := newFS(t)
+	f, _ := vfs.Create(fs, "/ft")
+	f.Write(make([]byte, 4*sim.BlockSize))
+	clk := dev.Clock()
+
+	m, _ := fs.Mmap(f.(*File), 0, 4*sim.BlockSize, MmapOptions{})
+	before := clk.Category(sim.CatPageFault)
+	buf := make([]byte, 10)
+	m.Load(buf, 0) // first touch of page 0
+	afterFirst := clk.Category(sim.CatPageFault)
+	if afterFirst-before != sim.PageFault4KNs {
+		t.Fatalf("first touch charged %d, want %d", afterFirst-before, sim.PageFault4KNs)
+	}
+	m.Load(buf, 16) // same page: no new fault
+	if clk.Category(sim.CatPageFault) != afterFirst {
+		t.Fatal("second touch of same page faulted again")
+	}
+}
+
+func TestMmapPopulateChargesUpFront(t *testing.T) {
+	dev, fs := newFS(t)
+	f, _ := vfs.Create(fs, "/pop")
+	f.Write(make([]byte, 8*sim.BlockSize))
+	clk := dev.Clock()
+	before := clk.Category(sim.CatPageFault)
+	m, _ := fs.Mmap(f.(*File), 0, 8*sim.BlockSize, MmapOptions{Populate: true})
+	if got := clk.Category(sim.CatPageFault) - before; got != 8*sim.PageFault4KNs {
+		t.Fatalf("populate charged %d, want %d", got, 8*sim.PageFault4KNs)
+	}
+	buf := make([]byte, 10)
+	m.Load(buf, 0)
+	if clk.Category(sim.CatPageFault) != before+8*sim.PageFault4KNs {
+		t.Fatal("populated mapping faulted on access")
+	}
+}
+
+func TestHugePageRequiresAlignment(t *testing.T) {
+	_, fs := newFS(t)
+	// A fresh fs: the first big allocation is physically contiguous but
+	// almost certainly not 2 MB aligned on the device; the mapping must
+	// fall back to 4 KB pages rather than fail.
+	f, _ := vfs.Create(fs, "/huge")
+	f.Write(make([]byte, 4<<20))
+	m, err := fs.Mmap(f.(*File), 0, 2<<20, MmapOptions{Populate: true, Huge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether huge was granted depends on physical alignment; both are
+	// legal, but the mapping must work either way.
+	buf := make([]byte, 64)
+	if n := m.Load(buf, 1<<20); n != 64 {
+		t.Fatalf("Load through maybe-huge mapping = %d", n)
+	}
+	// An unaligned length can never be huge.
+	m2, err := fs.Mmap(f.(*File), 0, 2<<20+sim.BlockSize, MmapOptions{Huge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Huge {
+		t.Fatal("unaligned mapping granted huge pages")
+	}
+}
+
+func TestRelinkMovesBlocksWithoutCopy(t *testing.T) {
+	dev, fs := newFS(t)
+	// Staging file with data; target file initially empty.
+	staging, _ := vfs.Create(fs, "/staging")
+	staging.(*File).Preallocate(8)
+	payload := bytes.Repeat([]byte("R"), 2*sim.BlockSize)
+	staging.WriteAt(payload, 0)
+	target, _ := vfs.Create(fs, "/target")
+
+	dataBefore := dev.Stats().BytesWrittenNT
+
+	err := fs.Relink(staging.(*File), target.(*File), 0, 0,
+		2*sim.BlockSize, 2*sim.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relink is metadata-only: no file data rewritten. Journal blocks are
+	// NT writes too, so allow only journal-sized growth (desc + images +
+	// commit + superblock), not the 2 data blocks.
+	ntGrowth := dev.Stats().BytesWrittenNT - dataBefore
+	if ntGrowth > 8*sim.BlockSize {
+		t.Fatalf("relink wrote %d bytes NT; data was copied", ntGrowth)
+	}
+	got, err := vfs.ReadFile(fs, "/target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("target content wrong after relink")
+	}
+	// Staging range was punched out.
+	info, _ := staging.Stat()
+	if info.Blocks != 6 {
+		t.Fatalf("staging blocks = %d, want 6", info.Blocks)
+	}
+	// Atomic: crash after relink keeps the target intact.
+	if err := dev.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, err := Mount(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = vfs.ReadFile(fs2, "/target")
+	if !bytes.Equal(got, payload) {
+		t.Fatal("relink not durable after crash")
+	}
+}
+
+func TestRelinkIntoMiddleReplacesBlocks(t *testing.T) {
+	dev, fs := newFS(t)
+	target, _ := vfs.Create(fs, "/t")
+	old := bytes.Repeat([]byte("o"), 4*sim.BlockSize)
+	target.Write(old)
+	staging, _ := vfs.Create(fs, "/s")
+	staging.(*File).Preallocate(4)
+	fresh := bytes.Repeat([]byte("n"), sim.BlockSize)
+	staging.WriteAt(fresh, 0)
+
+	free := fs.FreeBlocks()
+	// Replace target block 1 with staging block 0 (a strict-mode
+	// overwrite relink).
+	if err := fs.Relink(staging.(*File), target.(*File),
+		0, sim.BlockSize, sim.BlockSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Net space: staging lost 1 block, target gained then freed its old
+	// block; total free goes up by one.
+	if fs.FreeBlocks() != free+1 {
+		t.Fatalf("free = %d, want %d", fs.FreeBlocks(), free+1)
+	}
+	got, _ := vfs.ReadFile(fs, "/t")
+	if !bytes.Equal(got[:sim.BlockSize], old[:sim.BlockSize]) {
+		t.Fatal("block 0 damaged")
+	}
+	if !bytes.Equal(got[sim.BlockSize:2*sim.BlockSize], fresh) {
+		t.Fatal("block 1 not replaced")
+	}
+	if !bytes.Equal(got[2*sim.BlockSize:], old[2*sim.BlockSize:]) {
+		t.Fatal("tail damaged")
+	}
+	_ = dev
+}
+
+func TestMappingSurvivesRelink(t *testing.T) {
+	_, fs := newFS(t)
+	staging, _ := vfs.Create(fs, "/stg")
+	staging.(*File).Preallocate(4)
+	payload := bytes.Repeat([]byte("M"), sim.BlockSize)
+	staging.WriteAt(payload, 0)
+	// Map the staging region BEFORE relinking, as U-Split does.
+	m, err := fs.Mmap(staging.(*File), 0, sim.BlockSize, MmapOptions{Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := vfs.Create(fs, "/tgt")
+	if err := fs.Relink(staging.(*File), target.(*File), 0, 0,
+		sim.BlockSize, sim.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	// The mapping still addresses the same physical blocks, which now
+	// belong to the target: reads through it see the target's data.
+	got := make([]byte, sim.BlockSize)
+	if n := m.Load(got, 0); n != sim.BlockSize {
+		t.Fatalf("Load after relink = %d", n)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("mapping invalidated by relink")
+	}
+}
+
+func TestSwapExtentsRejectsUnaligned(t *testing.T) {
+	_, fs := newFS(t)
+	a, _ := vfs.Create(fs, "/a")
+	a.Write(make([]byte, 2*sim.BlockSize))
+	b, _ := vfs.Create(fs, "/b")
+	b.Write(make([]byte, 2*sim.BlockSize))
+	if err := fs.SwapExtents(a.(*File), b.(*File), 100, 0, sim.BlockSize); err == nil {
+		t.Fatal("unaligned swap accepted")
+	}
+	if err := fs.SwapExtents(a.(*File), b.(*File), 0, 0, 100); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	// Unmapped range rejected.
+	if err := fs.SwapExtents(a.(*File), b.(*File), 4*sim.BlockSize, 0, sim.BlockSize); err == nil {
+		t.Fatal("swap of hole accepted")
+	}
+}
+
+func TestUnmapCharges(t *testing.T) {
+	dev, fs := newFS(t)
+	f, _ := vfs.Create(fs, "/u")
+	f.Write(make([]byte, sim.BlockSize))
+	m, _ := fs.Mmap(f.(*File), 0, sim.BlockSize, MmapOptions{})
+	before := dev.Clock().Now()
+	m.Unmap()
+	if dev.Clock().Now()-before != sim.MunmapPerMappingNs {
+		t.Fatal("Unmap cost wrong")
+	}
+}

@@ -1,0 +1,190 @@
+// Package harness regenerates every table and figure from the SplitFS
+// paper's evaluation (§5) on the simulated substrate. Each experiment is
+// registered with the paper artifact it reproduces; cmd/splitbench and
+// the repository's bench_test.go drive this registry.
+//
+// Absolute numbers come from the calibrated cost model (internal/sim);
+// the claims under test are the paper's shapes: who wins, by what factor,
+// and where the crossovers are. EXPERIMENTS.md records paper-vs-measured
+// for every row.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/logfs"
+	"splitfs/internal/nova"
+	"splitfs/internal/pmem"
+	"splitfs/internal/pmfs"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/strata"
+	"splitfs/internal/vfs"
+)
+
+// Table is one rendered result table.
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render writes the table in an aligned text format.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				sb.WriteString(fmt.Sprintf("  %-*s", widths[i], c))
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	ID    string // e.g. "table1", "fig4"
+	Title string
+	Run   func() (*Table, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() (*Table, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return false }) // keep order
+	return out
+}
+
+// Get finds an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// env is one file system under test on its own device and clock.
+type env struct {
+	kind string
+	dev  *pmem.Device
+	clk  *sim.Clock
+	fs   vfs.FileSystem
+}
+
+// fsKinds in the order the paper groups them (by guarantee level).
+var posixKinds = []string{"ext4-dax", "splitfs-posix"}
+var syncKinds = []string{"pmfs", "nova-relaxed", "splitfs-sync"}
+var strictKinds = []string{"nova-strict", "strata", "splitfs-strict"}
+
+// newEnv builds a fresh file system of the given kind.
+func newEnv(kind string, devBytes int64) (*env, error) {
+	clk := sim.NewClock()
+	dev := pmem.New(pmem.Config{Size: devBytes, Clock: clk, TrackWear: true})
+	e := &env{kind: kind, dev: dev, clk: clk}
+	lcfg := logfs.Config{LogBytes: 8 << 20, SnapshotSlotBytes: 2 << 20}
+	switch kind {
+	case "ext4-dax":
+		fs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 8192})
+		if err != nil {
+			return nil, err
+		}
+		e.fs = fs
+	case "pmfs":
+		e.fs = pmfs.New(dev, lcfg)
+	case "nova-strict":
+		e.fs = nova.New(dev, nova.Strict, lcfg)
+	case "nova-relaxed":
+		e.fs = nova.New(dev, nova.Relaxed, lcfg)
+	case "strata":
+		// The private log is sized so the digest cycles during a run, as
+		// it does at steady state on the paper's long workloads; an
+		// oversized log would let Strata dodge its double-write cost.
+		e.fs = strata.New(dev, strata.Config{PrivateLogBytes: 3 << 20, Shared: lcfg})
+	case "splitfs-posix", "splitfs-sync", "splitfs-strict":
+		kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 8192})
+		if err != nil {
+			return nil, err
+		}
+		mode := splitfs.POSIX
+		switch kind {
+		case "splitfs-sync":
+			mode = splitfs.Sync
+		case "splitfs-strict":
+			mode = splitfs.Strict
+		}
+		fs, err := splitfs.New(kfs, splitfs.Config{
+			Mode:             mode,
+			StagingFiles:     24, // sized so the background thread never blocks a run
+			StagingFileBytes: 8 << 20,
+			OpLogBytes:       8 << 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.fs = fs
+	default:
+		return nil, fmt.Errorf("harness: unknown fs kind %q", kind)
+	}
+	return e, nil
+}
+
+// measure runs fn and returns the simulated-time breakdown it consumed.
+func (e *env) measure(fn func() error) (sim.Breakdown, error) {
+	before := e.clk.Snapshot()
+	err := fn()
+	return e.clk.Snapshot().Sub(before), err
+}
+
+// kops converts (ops, ns) to Kops/s of simulated time.
+func kops(ops int64, ns int64) float64 {
+	if ns == 0 {
+		return 0
+	}
+	return float64(ops) / (float64(ns) / 1e9) / 1e3
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func us(ns int64) string   { return fmt.Sprintf("%.2f", float64(ns)/1000) }
+func xf(v float64) string  { return fmt.Sprintf("%.2fx", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The harness tests verify that every experiment runs and that the
+// paper's headline shape claims hold on the reproduced tables.
+
+func runT(t *testing.T, id string) *Table {
+	t.Helper()
+	e, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if !strings.Contains(buf.String(), tbl.Title) {
+		t.Fatal("render lost the title")
+	}
+	return tbl
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.Fields(tbl.Rows[row][col])[0], "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"table1", "table2", "table6", "table7",
+		"fig3", "fig4", "fig5", "fig6", "recovery", "resources", "ablation"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Fatalf("registry has %d experiments", len(All()))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tbl := runT(t, "table1")
+	// Row order: ext4, pmfs, nova-strict, splitfs-strict, splitfs-posix.
+	appendNs := func(r int) float64 { return cell(t, tbl, r, 1) }
+	if !(appendNs(0) > appendNs(1) && appendNs(1) > appendNs(2) &&
+		appendNs(2) > appendNs(3) && appendNs(3) > appendNs(4)) {
+		t.Fatalf("Table 1 ordering broken: %v", tbl.Rows)
+	}
+	// Paper ratios: ext4/splitfs-posix ~7.8x.
+	if r := appendNs(0) / appendNs(4); r < 5 || r > 11 {
+		t.Fatalf("ext4/splitfs-posix append ratio = %.1f, want ~7.8", r)
+	}
+}
+
+func TestTable2Anchors(t *testing.T) {
+	tbl := runT(t, "table2")
+	if got := cell(t, tbl, 0, 1); got < 160 || got > 180 {
+		t.Fatalf("seq read latency = %v", got)
+	}
+	if got := cell(t, tbl, 2, 1); got < 80 || got > 100 {
+		t.Fatalf("store+flush+fence = %v", got)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tbl := runT(t, "table6")
+	get := func(sys string, col int) float64 {
+		for r, row := range tbl.Rows {
+			if row[0] == sys {
+				return cell(t, tbl, r, col)
+			}
+		}
+		t.Fatalf("row %s missing", sys)
+		return 0
+	}
+	// Columns: 1=strict 2=sync 3=posix 4=ext4.
+	if !(get("append", 4) > 4*get("append", 3)) {
+		t.Fatal("SplitFS appends must be several times faster than ext4")
+	}
+	if !(get("fsync", 4) > 2*get("fsync", 1)) {
+		t.Fatal("SplitFS fsync must be far cheaper than ext4 fsync")
+	}
+	if !(get("unlink", 1) > get("unlink", 4)) {
+		t.Fatal("SplitFS unlink must cost more than ext4 (munmaps)")
+	}
+	if !(get("open", 1) >= get("open", 3) && get("open", 3) > get("open", 4)) {
+		t.Fatal("open cost must rise with stronger modes")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tbl := runT(t, "fig3")
+	// Appends: staging must beat split-arch alone; relink must beat
+	// staging (paper: ~2x then ~2.5x more).
+	appends := func(r int) float64 { return cell(t, tbl, r, 3) }
+	if !(appends(2) > appends(1) && appends(3) > 1.5*appends(2)) {
+		t.Fatalf("Fig 3 technique progression broken: %v", tbl.Rows)
+	}
+	// Overwrites: split architecture alone must already beat ext4 2x+.
+	if ow := cell(t, tbl, 1, 1) / cell(t, tbl, 0, 1); ow < 2 {
+		t.Fatalf("split architecture overwrite gain = %.2f, want > 2", ow)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tbl := runT(t, "fig4")
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[1]] = row
+	}
+	pf := func(fs string, col int) float64 {
+		v, err := strconv.ParseFloat(byName[fs][col], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Columns: 2 seq read, 3 rand read, 4 seq write, 5 rand write, 6 append.
+	for _, pair := range [][2]string{
+		{"splitfs-posix", "ext4-dax"},
+		{"splitfs-sync", "pmfs"},
+		{"splitfs-strict", "nova-strict"},
+	} {
+		for col := 2; col <= 6; col++ {
+			if pf(pair[0], col) < pf(pair[1], col) {
+				t.Errorf("%s slower than %s on pattern col %d", pair[0], pair[1], col)
+			}
+		}
+	}
+	// Strata appends must trail everything in the strict group (double
+	// write).
+	if pf("strata", 6) > pf("nova-strict", 6) {
+		t.Error("Strata appends should trail NOVA-strict")
+	}
+}
+
+func TestRecoveryScalesLinearly(t *testing.T) {
+	tbl := runT(t, "recovery")
+	if len(tbl.Rows) < 3 {
+		t.Fatal("want 3 recovery points")
+	}
+	t0, m0 := cell(t, tbl, 0, 0), cell(t, tbl, 0, 2)
+	t2, m2 := cell(t, tbl, 2, 0), cell(t, tbl, 2, 2)
+	perEntry0, perEntry2 := m0/t0, m2/t2
+	if perEntry2 > perEntry0*3 || perEntry0 > perEntry2*5 {
+		t.Fatalf("recovery not ~linear: %.4f vs %.4f ms/entry", perEntry0, perEntry2)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	tbl := runT(t, "ablation")
+	get := func(prefix string, col int) float64 {
+		for r, row := range tbl.Rows {
+			if strings.HasPrefix(row[0], prefix) {
+				return cell(t, tbl, r, col)
+			}
+		}
+		t.Fatalf("ablation row %q missing", prefix)
+		return 0
+	}
+	def := get("default", 2)
+	if dram := get("staging in DRAM", 2); dram > def*0.6 {
+		t.Fatalf("DRAM staging appends = %.1f vs default %.1f; must lose clearly (§4)", dram, def)
+	}
+	if noRelink := get("no relink", 2); noRelink > def*0.7 {
+		t.Fatalf("no-relink appends = %.1f vs default %.1f; relink must matter", noRelink, def)
+	}
+}

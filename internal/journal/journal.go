@@ -1,0 +1,349 @@
+// Package journal implements a JBD2-style physical redo journal, the
+// mechanism ext4 DAX (K-Split in the paper) uses for metadata atomicity —
+// and the mechanism SplitFS's relink primitive piggybacks on (§3.3:
+// "Atomicity is ensured by wrapping the changes in a ext4 journal
+// transaction").
+//
+// Operation: callers stage metadata mutations with ordinary cached stores
+// to their home locations and Note() the ranges in a transaction. Commit
+// then
+//
+//  1. writes a descriptor block listing the touched home blocks,
+//  2. writes a full 4 KB journal copy of every touched block (this
+//     full-block logging is what makes ext4 metadata-heavy, a cost the
+//     paper measures in Table 1),
+//  3. fences, writes a checksummed commit block, fences,
+//  4. flushes the home locations and fences (checkpoint),
+//  5. advances the journal tail.
+//
+// A crash between (3) and (4) is repaired on Load by replaying committed
+// transactions; anything not yet committed is discarded by the pmem
+// crash model, leaving the previous consistent state.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+)
+
+const (
+	descMagic   = 0x4a424432 // "JBD2"
+	commitMagic = 0x434f4d54 // "COMT"
+
+	// maxBlocksPerTx bounds a transaction to what one descriptor block can
+	// describe.
+	maxBlocksPerTx = 255
+
+	superSize = 64 // journal superblock: magic, seq, tail index
+)
+
+// ErrTooLarge is returned when a transaction touches more distinct blocks
+// than one descriptor can hold.
+var ErrTooLarge = errors.New("journal: transaction exceeds descriptor capacity")
+
+// ErrFull is returned when the journal region cannot hold a transaction
+// even when empty.
+var ErrFull = errors.New("journal: region too small for transaction")
+
+// Stats count journal activity.
+type Stats struct {
+	Commits      int64
+	BlocksLogged int64 // full 4 KB block images written to the journal
+	Replayed     int64 // transactions replayed at Load time
+}
+
+// Journal is a circular physical redo log on a PM device region.
+type Journal struct {
+	dev   *pmem.Device
+	start int64 // device byte offset of the journal region
+	nblk  int64 // capacity in 4 KB blocks (including the superblock)
+
+	mu      sync.Mutex
+	seq     uint64
+	head    int64 // next journal block index to write (1-based; 0 is the superblock)
+	tail    int64 // oldest live journal block index
+	tailSeq uint64
+	stats   Stats
+}
+
+// Blocks returns the number of 4 KB blocks a journal region of size bytes
+// provides.
+func Blocks(bytes int64) int64 { return bytes / sim.BlockSize }
+
+// New formats a journal in [start, start+nblk*4K) and persists the empty
+// superblock. nblk must be at least 8.
+func New(dev *pmem.Device, start, nblk int64) *Journal {
+	if nblk < 8 {
+		panic("journal: region too small")
+	}
+	j := &Journal{dev: dev, start: start, nblk: nblk, seq: 1, head: 1, tail: 1, tailSeq: 1}
+	j.writeSuper()
+	return j
+}
+
+// Load mounts an existing journal, replaying any committed-but-not-
+// checkpointed transactions. It returns the journal and the number of
+// transactions replayed.
+func Load(dev *pmem.Device, start, nblk int64) (*Journal, int, error) {
+	j := &Journal{dev: dev, start: start, nblk: nblk}
+	super := make([]byte, superSize)
+	dev.ReadAt(super, start, sim.CatJournal)
+	if binary.LittleEndian.Uint32(super[0:4]) != descMagic {
+		return nil, 0, fmt.Errorf("journal: bad superblock magic %#x",
+			binary.LittleEndian.Uint32(super[0:4]))
+	}
+	j.tailSeq = binary.LittleEndian.Uint64(super[8:16])
+	j.tail = int64(binary.LittleEndian.Uint64(super[16:24]))
+	j.seq = j.tailSeq
+	j.head = j.tail
+	replayed := 0
+	for {
+		n, err := j.replayOne()
+		if err != nil || n == 0 {
+			break
+		}
+		replayed++
+	}
+	j.stats.Replayed = int64(replayed)
+	// Everything replayed is durable; reset to empty.
+	j.tail = j.head
+	j.tailSeq = j.seq
+	j.writeSuper()
+	return j, replayed, nil
+}
+
+func (j *Journal) blockOff(idx int64) int64 { return j.start + idx*sim.BlockSize }
+
+// wrap advances a journal block index, skipping the superblock at 0.
+func (j *Journal) wrap(idx int64) int64 {
+	if idx >= j.nblk {
+		return 1
+	}
+	return idx
+}
+
+func (j *Journal) writeSuper() {
+	super := make([]byte, superSize)
+	binary.LittleEndian.PutUint32(super[0:4], descMagic)
+	binary.LittleEndian.PutUint64(super[8:16], j.tailSeq)
+	binary.LittleEndian.PutUint64(super[16:24], uint64(j.tail))
+	j.dev.PersistNT(j.start, super, sim.CatJournal)
+}
+
+// Tx is a running transaction. Not safe for concurrent use; the journal
+// serializes commits internally.
+type Tx struct {
+	j      *Journal
+	ranges []blockRange
+	closed bool
+}
+
+type blockRange struct {
+	off int64
+	n   int
+}
+
+// Begin opens a transaction. Per-operation handle costs (jbd2
+// journal_start/stop) are charged by the file system, not here, since a
+// running transaction batches many operations.
+func (j *Journal) Begin() *Tx {
+	return &Tx{j: j}
+}
+
+// Note records that the caller has modified [off, off+n) of the device
+// with cached stores; the covering 4 KB blocks join the transaction.
+func (tx *Tx) Note(off int64, n int) {
+	if tx.closed {
+		panic("journal: Note on committed transaction")
+	}
+	if n <= 0 {
+		return
+	}
+	tx.ranges = append(tx.ranges, blockRange{off: off, n: n})
+}
+
+// homeBlocks returns the deduplicated, sorted device block offsets touched
+// by the transaction.
+func (tx *Tx) homeBlocks() []int64 {
+	seen := make(map[int64]bool)
+	var blocks []int64
+	for _, r := range tx.ranges {
+		first := r.off / sim.BlockSize
+		last := (r.off + int64(r.n) - 1) / sim.BlockSize
+		for b := first; b <= last; b++ {
+			if !seen[b] {
+				seen[b] = true
+				blocks = append(blocks, b*sim.BlockSize)
+			}
+		}
+	}
+	return blocks
+}
+
+// Commit durably applies the transaction. On return, every noted range is
+// persistent and the journal entry is already checkpointed. An empty
+// transaction is free of journal IO.
+func (tx *Tx) Commit() error {
+	if tx.closed {
+		panic("journal: double commit")
+	}
+	tx.closed = true
+	blocks := tx.homeBlocks()
+	if len(blocks) == 0 {
+		return nil
+	}
+	if len(blocks) > maxBlocksPerTx {
+		return ErrTooLarge
+	}
+	j := tx.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	need := int64(len(blocks)) + 2 // descriptor + images + commit
+	if need > j.nblk-1 {
+		return ErrFull
+	}
+	// Per-commit checkpointing (home flushed at the end of every commit)
+	// means all earlier entries are reclaimable: reset to an empty journal
+	// if this transaction would wrap.
+	if j.head+need > j.nblk {
+		j.tail = 1
+		j.head = 1
+		j.tailSeq = j.seq
+		j.writeSuper()
+	}
+
+	// 1. Descriptor block.
+	desc := make([]byte, sim.BlockSize)
+	binary.LittleEndian.PutUint32(desc[0:4], descMagic)
+	binary.LittleEndian.PutUint64(desc[8:16], j.seq)
+	binary.LittleEndian.PutUint32(desc[16:20], uint32(len(blocks)))
+	for i, b := range blocks {
+		binary.LittleEndian.PutUint64(desc[32+i*8:40+i*8], uint64(b))
+	}
+	idx := j.head
+	j.dev.StoreNT(j.blockOff(idx), desc, sim.CatJournal)
+	idx = j.wrap(idx + 1)
+
+	// 2. Full block images, read back at cache speed from the volatile
+	// view (the caller already stored its mutations there).
+	img := make([]byte, sim.BlockSize)
+	h := newChecksum(j.seq)
+	for _, b := range blocks {
+		j.dev.Peek(img, b)
+		h.update(img)
+		j.dev.StoreNT(j.blockOff(idx), img, sim.CatJournal)
+		idx = j.wrap(idx + 1)
+		j.stats.BlocksLogged++
+	}
+	// 3. Order images before the commit record.
+	j.dev.Fence()
+	commit := make([]byte, sim.BlockSize)
+	binary.LittleEndian.PutUint32(commit[0:4], commitMagic)
+	binary.LittleEndian.PutUint64(commit[8:16], j.seq)
+	binary.LittleEndian.PutUint32(commit[16:20], h.sum())
+	j.dev.StoreNT(j.blockOff(idx), commit, sim.CatJournal)
+	j.dev.Fence()
+	idx = j.wrap(idx + 1)
+
+	// 4. Checkpoint: flush home locations so the entry can be reclaimed.
+	// Each touched block is flushed once, however many times it was
+	// noted (jbd2 checkpoints each buffer once).
+	for _, b := range blocks {
+		j.dev.Flush(b, sim.BlockSize, sim.CatPMMeta)
+	}
+	j.dev.Fence()
+
+	// 5. Advance the tail past this entry.
+	j.seq++
+	j.head = idx
+	j.tail = idx
+	j.tailSeq = j.seq
+	j.writeSuper()
+	j.stats.Commits++
+	return nil
+}
+
+// replayOne replays the transaction at the tail, if valid and committed.
+// Returns the number of blocks restored (0 when the scan hits the end of
+// the log).
+func (j *Journal) replayOne() (int, error) {
+	desc := make([]byte, sim.BlockSize)
+	idx := j.head
+	j.dev.ReadAt(desc, j.blockOff(idx), sim.CatJournal)
+	if binary.LittleEndian.Uint32(desc[0:4]) != descMagic {
+		return 0, nil
+	}
+	seq := binary.LittleEndian.Uint64(desc[8:16])
+	if seq != j.seq {
+		return 0, nil
+	}
+	count := int(binary.LittleEndian.Uint32(desc[16:20]))
+	if count == 0 || count > maxBlocksPerTx {
+		return 0, nil
+	}
+	if int64(count)+2 > j.nblk-1 {
+		return 0, nil
+	}
+	homes := make([]int64, count)
+	for i := range homes {
+		homes[i] = int64(binary.LittleEndian.Uint64(desc[32+i*8 : 40+i*8]))
+	}
+	// Read images and verify against the commit record before applying.
+	images := make([][]byte, count)
+	h := newChecksum(seq)
+	idx = j.wrap(idx + 1)
+	for i := 0; i < count; i++ {
+		img := make([]byte, sim.BlockSize)
+		j.dev.ReadAt(img, j.blockOff(idx), sim.CatJournal)
+		h.update(img)
+		images[i] = img
+		idx = j.wrap(idx + 1)
+	}
+	commit := make([]byte, sim.BlockSize)
+	j.dev.ReadAt(commit, j.blockOff(idx), sim.CatJournal)
+	if binary.LittleEndian.Uint32(commit[0:4]) != commitMagic ||
+		binary.LittleEndian.Uint64(commit[8:16]) != seq ||
+		binary.LittleEndian.Uint32(commit[16:20]) != h.sum() {
+		return 0, nil
+	}
+	idx = j.wrap(idx + 1)
+	// Valid: restore the block images to their home locations.
+	for i, home := range homes {
+		j.dev.StoreNT(home, images[i], sim.CatPMMeta)
+	}
+	j.dev.Fence()
+	j.seq = seq + 1
+	j.head = idx
+	return count, nil
+}
+
+// Stats returns journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// checksum is a small FNV-1a accumulator for commit-record validation.
+type checksum struct{ h uint64 }
+
+func newChecksum(seed uint64) *checksum {
+	return &checksum{h: 0xcbf29ce484222325 ^ seed}
+}
+
+func (c *checksum) update(p []byte) {
+	h := c.h
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	c.h = h
+}
+
+func (c *checksum) sum() uint32 { return uint32(c.h ^ c.h>>32) }

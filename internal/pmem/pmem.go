@@ -1,0 +1,364 @@
+// Package pmem emulates an Intel Optane DC Persistent Memory device, the
+// substrate the SplitFS paper evaluates on.
+//
+// The emulator models the three properties PM file systems depend on:
+//
+//  1. The cost profile of PM (latencies and bandwidths from the paper's
+//     Table 2), charged to a sim.Clock.
+//  2. The persistence model of the x86 + PM controller stack: cached
+//     (temporal) stores are volatile until flushed (clwb) and fenced
+//     (sfence); non-temporal stores are volatile until fenced; fences
+//     drain the write-pending queue. Crash() discards everything that was
+//     not persisted, optionally with torn (partially persisted) lines at
+//     8-byte store granularity, exactly the failure the paper's 4-byte
+//     transactional log checksum defends against (§3.3).
+//  3. Wear: per-block write counters and total write IO, used for the
+//     paper's write-amplification comparison with Strata (§2.3, §5.8).
+//
+// All methods are safe for concurrent use.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"splitfs/internal/sim"
+)
+
+// lineState tracks where a modified cache line sits in the persistence
+// pipeline.
+type lineState uint8
+
+const (
+	// lineDirty: written with temporal stores, still in the CPU cache; a
+	// fence alone does NOT persist it, and on crash it may be partially
+	// written back by random eviction.
+	lineDirty lineState = iota + 1
+	// linePending: flushed (clwb) or written with non-temporal stores; it
+	// is sitting in the write-pending queue and persists at the next fence.
+	linePending
+)
+
+// Config configures a Device.
+type Config struct {
+	// Size is the device capacity in bytes; it is rounded up to a whole
+	// number of cache lines.
+	Size int64
+	// Clock receives all simulated-time charges. Required.
+	Clock *sim.Clock
+	// TrackPersistence maintains a durable shadow copy so Crash() can
+	// rewind to the persisted state. Costs 2x memory; benchmarks that do
+	// not crash can leave it off.
+	TrackPersistence bool
+	// TrackWear maintains per-4KB-block write counters.
+	TrackWear bool
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	BytesWrittenNT     int64 // bytes written with non-temporal stores
+	BytesWrittenCached int64 // bytes written with temporal stores
+	BytesRead          int64
+	Flushes            int64 // clwb count
+	Fences             int64
+	LinesPersisted     int64 // cache lines made durable by fences
+}
+
+// BytesWritten is the total write IO issued to the device.
+func (s Stats) BytesWritten() int64 { return s.BytesWrittenNT + s.BytesWrittenCached }
+
+// Device is a simulated PM module.
+type Device struct {
+	cfg   Config
+	clock *sim.Clock
+
+	mu        sync.Mutex
+	data      []byte // volatile view (what loads observe)
+	persisted []byte // durable view (nil unless TrackPersistence)
+	lines     map[int64]lineState
+	wear      []uint32 // writes per 4 KB block (nil unless TrackWear)
+
+	lastReadEnd atomic.Int64 // for sequential-vs-random latency
+
+	nBytesNT     atomic.Int64
+	nBytesCached atomic.Int64
+	nBytesRead   atomic.Int64
+	nFlushes     atomic.Int64
+	nFences      atomic.Int64
+	nPersisted   atomic.Int64
+}
+
+// ErrNoPersistence is returned by Crash on a device without persistence
+// tracking.
+var ErrNoPersistence = errors.New("pmem: device built without TrackPersistence")
+
+// New creates a device. It panics if Size is not positive or Clock is nil,
+// since both indicate a programming error.
+func New(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("pmem: non-positive size")
+	}
+	if cfg.Clock == nil {
+		panic("pmem: nil clock")
+	}
+	size := (cfg.Size + sim.CacheLine - 1) / sim.CacheLine * sim.CacheLine
+	d := &Device{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		data:  make([]byte, size),
+		lines: make(map[int64]lineState),
+	}
+	if cfg.TrackPersistence {
+		d.persisted = make([]byte, size)
+	}
+	if cfg.TrackWear {
+		d.wear = make([]uint32, (size+sim.BlockSize-1)/sim.BlockSize)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.data)) }
+
+// Clock returns the clock this device charges.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+func (d *Device) checkRange(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(d.data)) {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of %d bytes",
+			off, off+int64(n), len(d.data)))
+	}
+}
+
+// ReadAt copies device contents into p, charging device read latency plus
+// read-bandwidth time to cat. The latency is sequential (169 ns) when the
+// read continues where the previous one ended, random (305 ns) otherwise.
+func (d *Device) ReadAt(p []byte, off int64, cat sim.Category) {
+	d.checkRange(off, len(p))
+	lat := int64(sim.PMRandReadLatencyNs)
+	if d.lastReadEnd.Load() == off {
+		lat = sim.PMSeqReadLatencyNs
+	}
+	d.lastReadEnd.Store(off + int64(len(p)))
+	d.clock.Charge(cat, lat+sim.ChargeBytes(len(p), sim.PMReadPsPerByte))
+	d.nBytesRead.Add(int64(len(p)))
+	d.mu.Lock()
+	copy(p, d.data[off:off+int64(len(p))])
+	d.mu.Unlock()
+}
+
+// ReadIntoUser copies device contents into a user buffer, charging the
+// end-to-end load+memcpy cost of the file-data read path (§5.4, Table 6)
+// rather than the raw device bandwidth.
+func (d *Device) ReadIntoUser(p []byte, off int64, cat sim.Category) {
+	d.checkRange(off, len(p))
+	lat := int64(sim.PMRandReadLatencyNs)
+	if d.lastReadEnd.Load() == off {
+		lat = sim.PMSeqReadLatencyNs
+	}
+	d.lastReadEnd.Store(off + int64(len(p)))
+	d.clock.Charge(cat, lat+sim.ChargeBytes(len(p), sim.PMUserCopyPsPerByte))
+	d.nBytesRead.Add(int64(len(p)))
+	d.mu.Lock()
+	copy(p, d.data[off:off+int64(len(p))])
+	d.mu.Unlock()
+}
+
+// Peek copies device contents into p charging only CPU-cache-speed time.
+// It models reading metadata that is resident in the CPU cache or page
+// cache (e.g. the journal re-reading buffers it is about to log); cold
+// reads must use ReadAt.
+func (d *Device) Peek(p []byte, off int64) {
+	d.checkRange(off, len(p))
+	d.clock.Charge(sim.CatCPU, sim.ChargeBytes(len(p), sim.StorePsPerByte))
+	d.mu.Lock()
+	copy(p, d.data[off:off+int64(len(p))])
+	d.mu.Unlock()
+}
+
+// StoreNT writes p with non-temporal stores: the data bypasses the cache
+// and lands in the write-pending queue, becoming durable at the next
+// Fence. Charges the NT store startup latency plus store-bandwidth time.
+func (d *Device) StoreNT(off int64, p []byte, cat sim.Category) {
+	d.checkRange(off, len(p))
+	d.clock.Charge(cat, int64(sim.PMWriteLatencyNs)+sim.ChargeBytes(len(p), sim.PMWritePsPerByte))
+	d.write(off, p, linePending)
+	d.nBytesNT.Add(int64(len(p)))
+}
+
+// Store writes p with ordinary temporal stores. The data sits in the CPU
+// cache: it is NOT durable until the covering lines are Flushed and a
+// Fence completes. Cheap (cache-speed) on the clock.
+func (d *Device) Store(off int64, p []byte, cat sim.Category) {
+	d.checkRange(off, len(p))
+	d.clock.Charge(cat, sim.ChargeBytes(len(p), sim.StorePsPerByte))
+	d.write(off, p, lineDirty)
+	d.nBytesCached.Add(int64(len(p)))
+}
+
+func (d *Device) write(off int64, p []byte, st lineState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(d.data[off:], p)
+	first := off / sim.CacheLine
+	last := (off + int64(len(p)) - 1) / sim.CacheLine
+	for ln := first; ln <= last; ln++ {
+		// An NT store to a dirty line still leaves the line pending: the
+		// NT data is in the WPQ regardless of prior cached stores.
+		if st == linePending || d.lines[ln] == 0 {
+			d.lines[ln] = st
+		}
+	}
+	if d.wear != nil {
+		for b := off / sim.BlockSize; b <= (off+int64(len(p))-1)/sim.BlockSize; b++ {
+			d.wear[b]++
+		}
+	}
+}
+
+// Flush issues clwb for every cache line covering [off, off+n): dirty
+// lines move to the write-pending queue and will persist at the next
+// Fence. Only dirty lines cost write-back time; a clwb of a clean line
+// has nothing to write back.
+func (d *Device) Flush(off int64, n int, cat sim.Category) {
+	if n <= 0 {
+		return
+	}
+	d.checkRange(off, n)
+	first := off / sim.CacheLine
+	last := (off + int64(n) - 1) / sim.CacheLine
+	dirty := int64(0)
+	d.mu.Lock()
+	for ln := first; ln <= last; ln++ {
+		if d.lines[ln] == lineDirty {
+			d.lines[ln] = linePending
+			dirty++
+		}
+	}
+	d.mu.Unlock()
+	d.nFlushes.Add(dirty)
+	d.clock.Charge(cat, dirty*sim.FlushLineNs)
+}
+
+// Fence issues an sfence: every line in the write-pending queue becomes
+// durable.
+func (d *Device) Fence() {
+	d.clock.Charge(sim.CatFence, sim.FenceNs)
+	d.nFences.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for ln, st := range d.lines {
+		if st != linePending {
+			continue
+		}
+		d.persistLine(ln)
+		delete(d.lines, ln)
+		d.nPersisted.Add(1)
+	}
+}
+
+// persistLine copies one cache line from the volatile view to the durable
+// view. Caller holds d.mu.
+func (d *Device) persistLine(ln int64) {
+	if d.persisted == nil {
+		return
+	}
+	off := ln * sim.CacheLine
+	copy(d.persisted[off:off+sim.CacheLine], d.data[off:off+sim.CacheLine])
+}
+
+// PersistNT is the common StoreNT followed by Fence.
+func (d *Device) PersistNT(off int64, p []byte, cat sim.Category) {
+	d.StoreNT(off, p, cat)
+	d.Fence()
+}
+
+// Persist is the store + clwb + sfence sequence for temporal stores.
+func (d *Device) Persist(off int64, p []byte, cat sim.Category) {
+	d.Store(off, p, cat)
+	d.Flush(off, len(p), cat)
+	d.Fence()
+}
+
+// Crash simulates power failure and rewinds the volatile view to the
+// durable state. Lines still in the cache or write-pending queue are
+// handled per the x86/PM failure model:
+//
+//   - If rng is nil, every unpersisted line reverts entirely.
+//   - If rng is non-nil, each unpersisted 8-byte word independently has a
+//     50% chance of having reached the media, producing torn lines — the
+//     failure mode SplitFS's log-entry checksum must detect.
+//
+// Returns ErrNoPersistence when the device has no durable shadow.
+func (d *Device) Crash(rng *sim.RNG) error {
+	if d.persisted == nil {
+		return ErrNoPersistence
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rng != nil {
+		for ln := range d.lines {
+			off := ln * sim.CacheLine
+			for w := int64(0); w < sim.CacheLine; w += 8 {
+				if rng.Uint64()&1 == 0 {
+					copy(d.persisted[off+w:off+w+8], d.data[off+w:off+w+8])
+				}
+			}
+		}
+	}
+	copy(d.data, d.persisted)
+	d.lines = make(map[int64]lineState)
+	d.lastReadEnd.Store(-1)
+	return nil
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		BytesWrittenNT:     d.nBytesNT.Load(),
+		BytesWrittenCached: d.nBytesCached.Load(),
+		BytesRead:          d.nBytesRead.Load(),
+		Flushes:            d.nFlushes.Load(),
+		Fences:             d.nFences.Load(),
+		LinesPersisted:     d.nPersisted.Load(),
+	}
+}
+
+// Wear returns the write count of the 4 KB block containing off, or 0 when
+// wear tracking is off.
+func (d *Device) Wear(off int64) uint32 {
+	if d.wear == nil {
+		return 0
+	}
+	d.checkRange(off, 1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wear[off/sim.BlockSize]
+}
+
+// MaxWear returns the highest per-block write count, a proxy for the
+// endurance hot spot (§2.1: PM endures ~1e7 write cycles).
+func (d *Device) MaxWear() uint32 {
+	if d.wear == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var m uint32
+	for _, w := range d.wear {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// UnpersistedLines reports how many modified cache lines are not yet
+// durable; useful in tests asserting persistence discipline.
+func (d *Device) UnpersistedLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.lines)
+}

@@ -1,0 +1,42 @@
+// Package pmfs implements the PMFS baseline of the SplitFS paper (Dulloor
+// et al., EuroSys '14): in-place synchronous data writes with fine-grained
+// metadata journaling. PMFS provides the paper's "sync" guarantee level —
+// operations are durable when the call returns, but data operations are
+// not atomic (Table 3).
+package pmfs
+
+import (
+	"splitfs/internal/logfs"
+	"splitfs/internal/metalog"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+)
+
+// FS is a mounted PMFS instance.
+type FS = logfs.FS
+
+// Config re-exports the engine configuration.
+type Config = logfs.Config
+
+func profile() logfs.Profile {
+	return logfs.Profile{
+		Name:         "pmfs",
+		FenceMode:    metalog.SingleFence, // fine-grained journal record
+		PerOpCPU:     sim.PMFSJournalNs,
+		WritePathCPU: sim.PMFSWritePathNs,
+		ReadPathCPU:  sim.Ext4ReadPathNs,
+		COW:          false,
+		SyncData:     true,
+		KernelFS:     true,
+	}
+}
+
+// New formats dev as a PMFS file system.
+func New(dev *pmem.Device, cfg Config) *FS {
+	return logfs.New(dev, profile(), cfg)
+}
+
+// Mount recovers a PMFS file system after a crash.
+func Mount(dev *pmem.Device, cfg Config) (*FS, int, error) {
+	return logfs.Mount(dev, profile(), cfg)
+}

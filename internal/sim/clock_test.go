@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockChargeAccumulates(t *testing.T) {
+	c := NewClock()
+	c.Charge(CatPMData, 100)
+	c.Charge(CatPMData, 50)
+	c.Charge(CatFence, 25)
+	if got := c.Now(); got != 175 {
+		t.Fatalf("Now() = %d, want 175", got)
+	}
+	if got := c.Category(CatPMData); got != 150 {
+		t.Fatalf("Category(CatPMData) = %d, want 150", got)
+	}
+	if got := c.Category(CatFence); got != 25 {
+		t.Fatalf("Category(CatFence) = %d, want 25", got)
+	}
+}
+
+func TestClockIgnoresNonPositive(t *testing.T) {
+	c := NewClock()
+	c.Charge(CatCPU, 0)
+	c.Charge(CatCPU, -5)
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestClockSnapshotSub(t *testing.T) {
+	c := NewClock()
+	c.Charge(CatPMData, 40)
+	before := c.Snapshot()
+	c.Charge(CatPMData, 10)
+	c.Charge(CatJournal, 30)
+	d := c.Snapshot().Sub(before)
+	if d.Total != 40 {
+		t.Fatalf("delta total = %d, want 40", d.Total)
+	}
+	if d.DataTime() != 10 {
+		t.Fatalf("delta data = %d, want 10", d.DataTime())
+	}
+	if d.Overhead() != 30 {
+		t.Fatalf("delta overhead = %d, want 30", d.Overhead())
+	}
+}
+
+func TestClockConcurrentCharges(t *testing.T) {
+	c := NewClock()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Charge(CatCPU, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != goroutines*per {
+		t.Fatalf("Now() = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Charge(CatAlloc, 99)
+	c.Reset()
+	if c.Now() != 0 || c.Category(CatAlloc) != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatPMData.String() != "pm-data" {
+		t.Fatalf("CatPMData = %q", CatPMData.String())
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Fatalf("unknown category = %q", Category(99).String())
+	}
+	if len(Categories()) != int(numCategories) {
+		t.Fatalf("Categories() length = %d", len(Categories()))
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	c := NewClock()
+	c.Charge(CatPMData, 7)
+	s := c.Snapshot().String()
+	if s != "7ns [pm-data=7]" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestChargeBytes(t *testing.T) {
+	cases := []struct {
+		n    int
+		ps   int64
+		want int64
+	}{
+		{0, 100, 0},
+		{-1, 100, 0},
+		{1, 100, 1},  // rounds up
+		{10, 100, 1}, // exactly 1ns
+		{11, 100, 2}, // rounds up
+		{4096, 144, 590},
+		{64, 25, 2},
+	}
+	for _, tc := range cases {
+		if got := ChargeBytes(tc.n, tc.ps); got != tc.want {
+			t.Errorf("ChargeBytes(%d, %d) = %d, want %d", tc.n, tc.ps, got, tc.want)
+		}
+	}
+}
+
+func TestChargeBytesNeverFreeProperty(t *testing.T) {
+	f := func(n uint16, ps uint8) bool {
+		got := ChargeBytes(int(n), int64(ps))
+		if n == 0 || ps == 0 {
+			return got == (ChargeBytes(int(n), int64(ps)))
+		}
+		return got >= 1 && got >= int64(n)*int64(ps)/1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// §1: a 4 KB non-temporal write plus fence must cost ~671 ns.
+	got := int64(PMWriteLatencyNs) + ChargeBytes(4096, PMWritePsPerByte) + FenceNs
+	if got < 640 || got > 700 {
+		t.Fatalf("4KB NT write+fence = %dns, want ~671ns", got)
+	}
+	// Table 2: store+flush+fence of one cache line must cost ~91 ns.
+	sff := ChargeBytes(CacheLine, StorePsPerByte) + FlushLineNs + FenceNs
+	if sff < 80 || sff > 100 {
+		t.Fatalf("store+flush+fence = %dns, want ~91ns", sff)
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestZipfianBoundsAndSkew(t *testing.T) {
+	r := NewRNG(11)
+	const n = 1000
+	z := NewZipfian(r, n)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("Next() = %d out of [0,%d)", v, n)
+		}
+		counts[v]++
+	}
+	// Zipfian with theta=0.99: rank-0 should dominate; the top 10 keys
+	// should receive a large share of draws.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / draws; frac < 0.3 {
+		t.Fatalf("top-10 keys received %.2f of draws, want >= 0.3", frac)
+	}
+	if counts[0] < counts[500] {
+		t.Fatal("rank 0 less popular than rank 500; not zipfian")
+	}
+}
+
+func TestScrambledZipfianBounds(t *testing.T) {
+	r := NewRNG(13)
+	const n = 500
+	z := NewZipfian(r, n)
+	seen := make(map[int64]bool)
+	for i := 0; i < 50000; i++ {
+		v := z.ScrambledNext()
+		if v < 0 || v >= n {
+			t.Fatalf("ScrambledNext() = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < n/10 {
+		t.Fatalf("scrambled zipfian hit only %d distinct keys", len(seen))
+	}
+}
+
+func TestLatestBiasedToRecent(t *testing.T) {
+	r := NewRNG(17)
+	l := NewLatest(r, 1000)
+	recent, total := 0, 100000
+	for i := 0; i < total; i++ {
+		k := l.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("Latest.Next() = %d out of range", k)
+		}
+		if k >= 900 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / float64(total); frac < 0.5 {
+		t.Fatalf("latest distribution gave only %.2f to newest decile", frac)
+	}
+}

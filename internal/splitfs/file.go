@@ -1,0 +1,486 @@
+package splitfs
+
+import (
+	"io"
+	"sync"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// File is an open U-Split file handle. Handles opened for the same inode
+// share one ofile (and thus one staged overlay); dup'd descriptors share
+// the File itself and therefore the offset (§3.5).
+type File struct {
+	fs *FS
+	of *ofile
+
+	flag int
+	path string
+
+	mu     sync.Mutex
+	pos    int64
+	closed bool
+}
+
+var _ vfs.File = (*File)(nil)
+
+// OpenFile implements vfs.FileSystem: the open passes through to K-Split,
+// then U-Split stats the file and caches its attributes (§3.5).
+func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
+	kf, err := fs.kfs.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	fs.clk.Charge(sim.CatCPU, sim.USplitOpenNs)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Attribute cache (§3.5): a file opened before (and not unlinked)
+	// skips the stat; first-time opens pay it. This is why reopening a
+	// recently closed file is cheaper in Table 6.
+	info, cached := fs.attrs[vfs.CleanPath(path)]
+	if !cached || flag&vfs.O_TRUNC != 0 {
+		info, err = kf.Stat()
+		if err != nil {
+			kf.Close()
+			return nil, err
+		}
+	}
+	of, ok := fs.files[info.Ino]
+	if !ok {
+		of = &ofile{
+			ino:   info.Ino,
+			path:  vfs.CleanPath(path),
+			kf:    kf.(*ext4dax.File),
+			size:  info.Size,
+			ksize: info.Size,
+		}
+		fs.files[info.Ino] = of
+		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
+			// The kernel truncated on open: stale mappings over freed
+			// blocks must go.
+			fs.mmaps.drop(info.Ino)
+		}
+		// A fresh (or freshly recycled) inode must not inherit log
+		// entries from a previous incarnation of its inode number: stamp
+		// the watermark past every existing entry. Closed files have no
+		// pending entries (close relinks), so this is only needed when
+		// the file is empty — i.e. created or truncated.
+		if fs.olog != nil && info.Size == 0 {
+			of.kf.SetUserWatermark(fs.opSeq)
+		}
+	} else {
+		// Reuse the shared description; the redundant kernel handle is
+		// closed (its open cost was already charged, as in the real
+		// LD_PRELOAD library which still performs the open syscall).
+		kf.Close()
+		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
+			of.staged = nil
+			of.active = nil
+			of.size, of.ksize = 0, 0
+			fs.mmaps.drop(of.ino)
+			// Dropped staged writes must not be resurrected by replay.
+			if fs.olog != nil {
+				of.kf.SetUserWatermark(fs.opSeq)
+			}
+		}
+	}
+	of.refs++
+	fs.attrs[of.path] = info
+	if fs.olog != nil {
+		fs.olog.append(encMetaEntry('o', of.ino))
+	}
+	if err := fs.syncMeta(); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, of: of, flag: flag, path: of.path}, nil
+}
+
+// Path implements vfs.File.
+func (f *File) Path() string { return f.path }
+
+// Read reads at the handle offset.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// Write writes at the handle offset (EOF with O_APPEND).
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fs.mu.Lock()
+	off := f.pos
+	if f.flag&vfs.O_APPEND != 0 {
+		off = f.of.size
+	}
+	f.fs.mu.Unlock()
+	n, err := f.WriteAt(p, off)
+	f.pos = off + int64(n)
+	return n, err
+}
+
+// Seek implements vfs.File.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case vfs.SeekSet:
+	case vfs.SeekCur:
+		base = f.pos
+	case vfs.SeekEnd:
+		f.fs.mu.Lock()
+		base = f.of.size
+		f.fs.mu.Unlock()
+	default:
+		return 0, vfs.ErrInval
+	}
+	if base+offset < 0 {
+		return 0, vfs.ErrInval
+	}
+	f.pos = base + offset
+	return f.pos, nil
+}
+
+// ReadAt serves the read entirely in user space: the collection of mmaps
+// provides the base content; staged ranges (appends, strict overwrites)
+// are patched in from the staging files' mappings (§3.4).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !vfs.Readable(f.flag) {
+		return 0, vfs.ErrInval
+	}
+	if off < 0 {
+		return 0, vfs.ErrInval
+	}
+	fs.bookkeep()
+	fs.stats.UserReads++
+	of := f.of
+	if off >= of.size {
+		return 0, io.EOF
+	}
+	if m := of.size - off; int64(len(p)) > m {
+		p = p[:m]
+	}
+	// Base content from the target file's mappings (only up to ksize;
+	// beyond that everything is staged).
+	n := 0
+	for n < len(p) && off+int64(n) < of.ksize {
+		cur := off + int64(n)
+		span := int64(len(p) - n)
+		if rem := of.ksize - cur; span > rem {
+			span = rem
+		}
+		m := fs.mmaps.get(of, cur)
+		if m == nil {
+			// Hole or unmappable region: fall back to a kernel read.
+			got, err := of.kf.ReadAt(p[n:n+int(span)], cur)
+			if err != nil && err != io.EOF {
+				return n, err
+			}
+			for i := n + got; i < n+int(span); i++ {
+				p[i] = 0
+			}
+			n += int(span)
+			continue
+		}
+		if end := m.FileOff + m.Length; cur+span > end {
+			span = end - cur
+		}
+		if span <= 0 {
+			// Mapping ends before ksize (sparse tail); zero-fill one block.
+			z := sim.BlockSize - cur%sim.BlockSize
+			if z > int64(len(p)-n) {
+				z = int64(len(p) - n)
+			}
+			for i := int64(0); i < z; i++ {
+				p[n+int(i)] = 0
+			}
+			n += int(z)
+			continue
+		}
+		got := m.Load(p[n:n+int(span)], cur)
+		if got == 0 {
+			break
+		}
+		n += got
+	}
+	// Zero anything between ksize and size not covered by staging.
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	// Patch staged ranges (oldest first; later writes win).
+	end := off + int64(len(p))
+	for _, s := range of.overlaps(off, int64(len(p))) {
+		lo, hi := s.fileOff, s.fileOff+s.length
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		if s.dram != nil {
+			fs.clk.Charge(sim.CatCPU, sim.ChargeBytes(int(hi-lo), sim.DRAMCopyPsPerByte))
+			copy(p[lo-off:hi-off], s.dram[lo-s.fileOff:hi-s.fileOff])
+			continue
+		}
+		s.sf.m.Load(p[lo-off:hi-off], s.sfOff+(lo-s.fileOff))
+	}
+	return len(p), nil
+}
+
+// WriteAt routes the write by kind and mode (§3.4):
+//
+//   - overwrite, POSIX/sync: in-place non-temporal stores through the
+//     mmap collection (fenced in sync mode);
+//   - overwrite, strict: staged + logged, relinked on fsync;
+//   - append (any mode): staged; logged in strict; atomic on fsync.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return 0, vfs.ErrClosed
+	}
+	if !vfs.Writable(f.flag) {
+		return 0, vfs.ErrReadOnly
+	}
+	if off < 0 {
+		return 0, vfs.ErrInval
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fs.bookkeep()
+	of := f.of
+	end := off + int64(len(p))
+	isAppend := end > of.ksize || fs.cfg.DisableStaging && end > of.size
+
+	if fs.cfg.DisableStaging {
+		// Fig 3 ablation: appends go through the kernel like ext4 DAX.
+		if isAppend || fs.mode == Strict {
+			n, err := of.kf.WriteAt(p, off)
+			if end > of.size {
+				of.size = end
+			}
+			if end > of.ksize {
+				of.ksize = end
+			}
+			return n, err
+		}
+	}
+
+	switch {
+	case fs.mode == Strict:
+		// All strict-mode writes are staged and logged.
+		return fs.stageWrite(of, p, off)
+	case isAppend:
+		// POSIX/sync appends are staged (and atomic on fsync).
+		return fs.stageWrite(of, p, off)
+	case len(of.overlaps(off, end-off)) > 0:
+		// The range is shadowed by staged data (e.g. an earlier
+		// size-extending write): an in-place store would be hidden by
+		// the overlay, so stage this write too to preserve ordering.
+		return fs.stageWrite(of, p, off)
+	default:
+		// In-place overwrite through the mmap collection.
+		fs.stats.UserWrites++
+		n := 0
+		for n < len(p) {
+			cur := off + int64(n)
+			m := fs.mmaps.get(of, cur)
+			if m == nil {
+				// Hole in the file: fall back to the kernel write path.
+				got, err := of.kf.WriteAt(p[n:], cur)
+				n += got
+				if err != nil {
+					return n, err
+				}
+				continue
+			}
+			got := m.StoreNT(p[n:], cur)
+			if got == 0 {
+				got2, err := of.kf.WriteAt(p[n:], cur)
+				n += got2
+				if err != nil {
+					return n, err
+				}
+				continue
+			}
+			n += got
+		}
+		if fs.mode == Sync {
+			fs.dev.Fence()
+		}
+		return n, nil
+	}
+}
+
+// stageWrite redirects a write to a staging file: non-temporal stores
+// through the staging mapping, one op-log entry + one fence in strict
+// mode. Caller holds fs.mu.
+func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
+	fs.stats.Appends++
+	need := int64(len(p))
+	if fs.cfg.StageInDRAM {
+		// §4 ablation: buffer in DRAM at memcpy speed; every byte must
+		// later be copied into PM through the kernel at fsync.
+		fs.clk.Charge(sim.CatCPU, sim.ChargeBytes(len(p), sim.DRAMCopyPsPerByte))
+		of.addStaged(stagedRange{fileOff: off, length: need,
+			dram: append([]byte(nil), p...)})
+		if end := off + need; end > of.size {
+			of.size = end
+		}
+		return len(p), nil
+	}
+	// Reuse the active chunk when this write continues it (the common
+	// sequential-append pattern packs one relinkable run).
+	c := of.active
+	fits := c != nil && c.used+need <= c.end-c.base &&
+		(c.base+c.used)%sim.BlockSize == off%sim.BlockSize
+	// With pending staged ranges the write must continue the last one;
+	// right after a relink (no staged ranges) the chunk tail is free to
+	// continue at any congruent offset.
+	if fits && len(of.staged) > 0 {
+		fits = fs.continuesActive(of, off)
+	}
+	if !fits {
+		// Appends (extending the file) get a large chunk so consecutive
+		// appends form one relinkable run; staged overwrites reserve
+		// exactly their footprint.
+		exact := off+need <= of.size
+		var err error
+		c, err = fs.staging.reserve(need, off, exact)
+		if err != nil {
+			return 0, err
+		}
+		of.active = c
+	}
+	sfOff := c.base + c.used
+	c.sf.m.StoreNT(p, sfOff)
+	c.used += need
+	of.addStaged(stagedRange{fileOff: off, length: need, sf: c.sf, sfOff: sfOff})
+	if end := off + need; end > of.size {
+		of.size = end
+	}
+	switch fs.mode {
+	case Strict:
+		// Entry write + single fence covers the data too (§3.3).
+		fs.opSeq++
+		fs.olog.append(encWriteEntry(uint32(of.ino), off, uint32(need),
+			uint32(c.sf.kf.Ino()), sfOff, fs.opSeq))
+	case Sync:
+		fs.dev.Fence()
+	}
+	return len(p), nil
+}
+
+// continuesActive reports whether a write at off would extend the active
+// chunk's most recent staged range contiguously. Caller holds fs.mu.
+func (fs *FS) continuesActive(of *ofile, off int64) bool {
+	if len(of.staged) == 0 {
+		return false
+	}
+	last := of.staged[len(of.staged)-1]
+	return last.sf == of.active.sf &&
+		last.sfOff+last.length == of.active.base+of.active.used &&
+		last.fileOff+last.length == off
+}
+
+// Truncate flushes staged state and passes through to K-Split.
+func (f *File) Truncate(size int64) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	if !vfs.Writable(f.flag) {
+		return vfs.ErrReadOnly
+	}
+	fs.bookkeep()
+	of := f.of
+	if len(of.staged) > 0 {
+		if err := fs.relinkLocked(of); err != nil {
+			return err
+		}
+	}
+	if err := of.kf.Truncate(size); err != nil {
+		return err
+	}
+	// Freed blocks may be reallocated to other files: cached mappings
+	// over them are stale and must be torn down.
+	fs.mmaps.drop(of.ino)
+	of.size, of.ksize = size, size
+	if info, ok := fs.attrs[of.path]; ok {
+		info.Size = size
+		fs.attrs[of.path] = info
+	}
+	return fs.syncMeta()
+}
+
+// Sync is fsync(2): relink staged data into the target file (§3.4).
+func (f *File) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	fs.bookkeep()
+	return fs.relinkLocked(f.of)
+}
+
+// Close decrements the shared description; staged data is relinked when
+// the last handle closes (§3.4: "relinked on a subsequent fsync() or
+// close()"). Cached attributes are retained (§3.5).
+func (f *File) Close() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return vfs.ErrClosed
+	}
+	f.closed = true
+	fs.clk.Charge(sim.CatCPU, sim.USplitCloseNs)
+	of := f.of
+	of.refs--
+	if fs.olog != nil {
+		fs.olog.append(encMetaEntry('c', of.ino))
+	}
+	if of.refs > 0 {
+		return nil
+	}
+	if len(of.staged) > 0 {
+		if err := fs.relinkLocked(of); err != nil {
+			return err
+		}
+	}
+	delete(fs.files, of.ino)
+	return of.kf.Close()
+}
+
+// Stat implements vfs.File from the cached attributes plus staged size.
+func (f *File) Stat() (vfs.FileInfo, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f.closed {
+		return vfs.FileInfo{}, vfs.ErrClosed
+	}
+	fs.bookkeep()
+	info := fs.attrs[f.of.path]
+	info.Ino = f.of.ino
+	info.Size = f.of.size
+	return info, nil
+}

@@ -1,0 +1,104 @@
+package splitfs
+
+import (
+	"splitfs/internal/ext4dax"
+)
+
+// mmapCache is the collection of memory-mappings (§3.3): every mapping
+// U-Split creates is cached and reused until the file is unlinked, which
+// keeps page faults and mmap syscalls off the data path and preserves
+// huge pages once established (§4).
+type mmapCache struct {
+	fs *FS
+	// regions[ino][regionIndex] — one entry per MmapBytes-sized window.
+	regions map[uint64]map[int64]*ext4dax.Mapping
+}
+
+func newMmapCache(fs *FS) *mmapCache {
+	return &mmapCache{fs: fs, regions: make(map[uint64]map[int64]*ext4dax.Mapping)}
+}
+
+// get returns a mapping covering fileOff of the file, creating and
+// caching the surrounding MmapBytes region on miss. Returns nil when the
+// region cannot be mapped (e.g. a hole). Caller holds fs.mu.
+func (c *mmapCache) get(of *ofile, fileOff int64) *ext4dax.Mapping {
+	rsize := c.fs.cfg.MmapBytes
+	idx := fileOff / rsize
+	byIno := c.regions[of.ino]
+	if m, ok := byIno[idx]; ok {
+		c.fs.stats.MmapHits++
+		// The cached region may predate growth of the file; if the
+		// offset is beyond it, remap the region to its current extent.
+		if fileOff < m.FileOff+m.Length {
+			return m
+		}
+	}
+	c.fs.stats.MmapMisses++
+	m, err := c.fs.kfs.Mmap(of.kf, idx*rsize, rsize, ext4dax.MmapOptions{
+		Populate: true,
+		Huge:     !c.fs.cfg.DisableHugePages,
+	})
+	if err != nil {
+		return nil
+	}
+	if byIno == nil {
+		byIno = make(map[int64]*ext4dax.Mapping)
+		c.regions[of.ino] = byIno
+	}
+	byIno[idx] = m
+	return m
+}
+
+// refresh quietly rebuilds cached mappings covering [fileOff,
+// fileOff+length) after a relink: the modified ioctl keeps page tables
+// valid across the extent swap, so refreshed mappings carry no syscall
+// or fault cost. Appended regions whose staged bytes were written
+// through a staging-file mapping also stay mapped for free — §3.3,
+// Figure 2: the relinked block "retains its mmap() region". Regions
+// never mapped by either path still fault on first touch. Caller holds
+// fs.mu.
+func (c *mmapCache) refresh(of *ofile, fileOff, length int64, staged bool) {
+	rsize := c.fs.cfg.MmapBytes
+	byIno := c.regions[of.ino]
+	if byIno == nil {
+		if !staged {
+			return
+		}
+		byIno = make(map[int64]*ext4dax.Mapping)
+		c.regions[of.ino] = byIno
+	}
+	for idx := fileOff / rsize; idx <= (fileOff+length-1)/rsize; idx++ {
+		if _, ok := byIno[idx]; !ok && !staged {
+			continue // never mapped: first access pays its faults
+		}
+		m, err := c.fs.kfs.MmapQuiet(of.kf, idx*rsize, rsize, !c.fs.cfg.DisableHugePages)
+		if err != nil {
+			delete(byIno, idx)
+			continue
+		}
+		byIno[idx] = m
+	}
+}
+
+// drop unmaps and forgets every mapping of an inode (unlink path, §3.5:
+// "A memory-mapping is only discarded on unlink()"). Returns how many
+// mappings were torn down. Caller holds fs.mu.
+func (c *mmapCache) drop(ino uint64) int {
+	byIno := c.regions[ino]
+	for _, m := range byIno {
+		m.Unmap()
+	}
+	delete(c.regions, ino)
+	return len(byIno)
+}
+
+// count returns the number of cached mappings for an inode.
+func (c *mmapCache) count(ino uint64) int { return len(c.regions[ino]) }
+
+func (c *mmapCache) memoryUsage() int64 {
+	var n int64
+	for _, byIno := range c.regions {
+		n += int64(len(byIno))
+	}
+	return n * 160
+}

@@ -1,0 +1,155 @@
+package splitfs
+
+import (
+	"splitfs/internal/vfs"
+)
+
+// Metadata operations pass through to K-Split (§3.3), with U-Split
+// bookkeeping layered on top: attribute-cache maintenance, mmap-cache
+// teardown on unlink, and strict-mode operation logging.
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(path string, perm uint32) error {
+	fs.bookkeep()
+	if err := fs.kfs.Mkdir(path, perm); err != nil {
+		return err
+	}
+	return fs.syncMeta()
+}
+
+// Unlink implements vfs.FileSystem. Cached mappings are unmapped — the
+// reason unlink is U-Split's most expensive call (Table 6: 14.60 µs
+// strict vs 8.60 µs on ext4 DAX).
+func (fs *FS) Unlink(path string) error {
+	fs.bookkeep()
+	clean := vfs.CleanPath(path)
+	info, statErr := fs.kfs.Stat(clean)
+	fs.mu.Lock()
+	if statErr == nil {
+		if of, ok := fs.files[info.Ino]; ok {
+			// Unlinked while open: staged data is dropped with the file.
+			of.staged = nil
+			of.active = nil
+		}
+		fs.mmaps.drop(info.Ino)
+	}
+	delete(fs.attrs, clean)
+	if fs.olog != nil && statErr == nil {
+		fs.olog.append(encMetaEntry('u', info.Ino))
+	}
+	fs.mu.Unlock()
+	if err := fs.kfs.Unlink(clean); err != nil {
+		return err
+	}
+	return fs.syncMeta()
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(path string) error {
+	fs.bookkeep()
+	if err := fs.kfs.Rmdir(path); err != nil {
+		return err
+	}
+	return fs.syncMeta()
+}
+
+// Rename implements vfs.FileSystem. Rename is one of the uncommon
+// operations needing multiple log entries in strict mode (§3.3).
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.bookkeep()
+	oldClean, newClean := vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
+	fs.mu.Lock()
+	// Flush staged state of both endpoints so the kernel sees final
+	// contents.
+	for _, p := range []string{oldClean, newClean} {
+		if info, err := fs.kfs.Stat(p); err == nil {
+			if of, ok := fs.files[info.Ino]; ok && len(of.staged) > 0 {
+				if err := fs.relinkLocked(of); err != nil {
+					fs.mu.Unlock()
+					return err
+				}
+			}
+		}
+	}
+	if fs.olog != nil {
+		// Two entries: drop-target + move (the multi-entry rename case).
+		if info, err := fs.kfs.Stat(oldClean); err == nil {
+			fs.olog.append(encMetaEntry('r', info.Ino))
+			fs.olog.append(encMetaEntry('R', info.Ino))
+		}
+	}
+	if info, ok := fs.attrs[oldClean]; ok {
+		fs.attrs[newClean] = info
+		delete(fs.attrs, oldClean)
+	}
+	// An open ofile keeps working through its kernel handle; update its
+	// path for diagnostics.
+	if info, err := fs.kfs.Stat(oldClean); err == nil {
+		if of, ok := fs.files[info.Ino]; ok {
+			of.path = newClean
+		}
+	}
+	fs.mu.Unlock()
+	if err := fs.kfs.Rename(oldClean, newClean); err != nil {
+		return err
+	}
+	return fs.syncMeta()
+}
+
+// Stat implements vfs.FileSystem, served from the attribute cache when
+// possible (§3.5: cached attributes answer later calls).
+func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
+	fs.bookkeep()
+	clean := vfs.CleanPath(path)
+	fs.mu.Lock()
+	if info, ok := fs.attrs[clean]; ok {
+		if of, live := fs.files[info.Ino]; live {
+			info.Size = of.size
+		}
+		fs.mu.Unlock()
+		return info, nil
+	}
+	fs.mu.Unlock()
+	info, err := fs.kfs.Stat(clean)
+	if err != nil {
+		return info, err
+	}
+	fs.mu.Lock()
+	fs.attrs[clean] = info
+	fs.mu.Unlock()
+	return info, nil
+}
+
+// ReadDir implements vfs.FileSystem, hiding U-Split's internal staging
+// and log files.
+func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	fs.bookkeep()
+	ents, err := fs.kfs.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := ents[:0]
+	for _, e := range ents {
+		if vfs.CleanPath(path) == "/" &&
+			(e.Name == vfs.BaseName(stagingDir) || e.Name == vfs.BaseName(oplogDir)) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SyncAll relinks every open file's staged data (shutdown path).
+func (fs *FS) SyncAll() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, of := range fs.files {
+		if len(of.staged) > 0 {
+			if err := fs.relinkLocked(of); err != nil {
+				return err
+			}
+		}
+	}
+	fs.dev.Fence()
+	return nil
+}

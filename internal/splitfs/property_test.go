@@ -1,0 +1,224 @@
+package splitfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// TestRandomOpsMatchModel drives a U-Split instance with random
+// operations (writes at random offsets, appends, fsyncs, reopens,
+// truncates) and checks every read against an in-memory golden model.
+func TestRandomOpsMatchModel(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				return runModelCheck(t, mode, seed)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func runModelCheck(t *testing.T, mode Mode, seed uint64) bool {
+	t.Helper()
+	_, fs := newEnv(t, mode)
+	rng := sim.NewRNG(seed)
+	model := make(map[string][]byte)
+	handles := make(map[string]vfs.File)
+	defer func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
+
+	paths := []string{"/a", "/b", "/c"}
+	getHandle := func(p string) vfs.File {
+		if h, ok := handles[p]; ok {
+			return h
+		}
+		h, err := fs.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
+		if err != nil {
+			t.Fatalf("open %s: %v", p, err)
+		}
+		handles[p] = h
+		if _, ok := model[p]; !ok {
+			model[p] = nil
+		}
+		return h
+	}
+
+	const maxLen = 3 * sim.BlockSize
+	for step := 0; step < 150; step++ {
+		p := paths[rng.Intn(len(paths))]
+		h := getHandle(p)
+		switch rng.Intn(10) {
+		case 0, 1, 2: // append
+			n := rng.Intn(6000) + 1
+			data := randBytes(rng, n)
+			off := int64(len(model[p]))
+			if _, err := h.WriteAt(data, off); err != nil {
+				t.Fatalf("append %s: %v", p, err)
+			}
+			model[p] = append(model[p], data...)
+		case 3, 4, 5: // overwrite at random offset (may extend)
+			if len(model[p]) == 0 {
+				continue
+			}
+			off := int64(rng.Intn(len(model[p])))
+			n := rng.Intn(4000) + 1
+			data := randBytes(rng, n)
+			if _, err := h.WriteAt(data, off); err != nil {
+				t.Fatalf("overwrite %s@%d: %v", p, off, err)
+			}
+			end := off + int64(n)
+			for int64(len(model[p])) < end {
+				model[p] = append(model[p], 0)
+			}
+			copy(model[p][off:end], data)
+		case 6: // fsync
+			if err := h.Sync(); err != nil {
+				t.Fatalf("fsync %s: %v", p, err)
+			}
+		case 7: // close + reopen
+			h.Close()
+			delete(handles, p)
+			continue // the handle is gone; next touch reopens
+		case 8: // truncate
+			if int64(len(model[p])) > maxLen {
+				continue
+			}
+			nsz := 0
+			if len(model[p]) > 0 {
+				nsz = rng.Intn(len(model[p]))
+			}
+			if err := h.Truncate(int64(nsz)); err != nil {
+				t.Fatalf("truncate %s: %v", p, err)
+			}
+			model[p] = model[p][:nsz]
+		case 9: // full read + compare
+			// handled below; fallthrough to verification
+		}
+		// Verify a random window every step.
+		if len(model[p]) > 0 {
+			off := rng.Intn(len(model[p]))
+			n := rng.Intn(len(model[p])-off) + 1
+			got := make([]byte, n)
+			read, err := h.ReadAt(got, int64(off))
+			if err != nil && read != n {
+				t.Fatalf("read %s@%d+%d: %v", p, off, n, err)
+			}
+			if !bytes.Equal(got[:read], model[p][off:off+read]) {
+				t.Fatalf("seed %d step %d: %s@%d+%d diverged from model (first diff at %d)",
+					seed, step, p, off, n, firstDiff(got[:read], model[p][off:off+read]))
+			}
+		}
+	}
+	// Final full-content check through fresh handles.
+	for _, h := range handles {
+		h.Close()
+	}
+	handles = map[string]vfs.File{}
+	for p, want := range model {
+		got, err := vfs.ReadFile(fs, p)
+		if err != nil {
+			t.Fatalf("final read %s: %v", p, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: final %s = %d bytes, model %d bytes, first diff %d",
+				seed, p, len(got), len(want), firstDiff(got, want))
+		}
+	}
+	return true
+}
+
+func randBytes(rng *sim.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	return b
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestStrictCrashRecoveryProperty: at a random crash point, strict-mode
+// recovery must restore every completed logged write (synchronous +
+// atomic operations).
+func TestStrictCrashRecoveryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		dev, fs := newEnv(t, Strict)
+		rng := sim.NewRNG(seed)
+		model := make(map[string][]byte)
+		nOps := rng.Intn(40) + 5
+		for i := 0; i < nOps; i++ {
+			p := fmt.Sprintf("/f%d", rng.Intn(3))
+			h, err := fs.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := randBytes(rng, rng.Intn(3000)+1)
+			off := int64(len(model[p]))
+			if rng.Intn(3) == 0 && off > 0 {
+				off = int64(rng.Intn(int(off)))
+			}
+			if _, err := h.WriteAt(data, off); err != nil {
+				t.Fatal(err)
+			}
+			end := off + int64(len(data))
+			for int64(len(model[p])) < end {
+				model[p] = append(model[p], 0)
+			}
+			copy(model[p][off:end], data)
+			if rng.Intn(4) == 0 {
+				h.Sync()
+			}
+			h.Close()
+		}
+		// Torn crash at an arbitrary point in the persistence pipeline.
+		if err := dev.Crash(sim.NewRNG(seed ^ 0xbeef)); err != nil {
+			t.Fatal(err)
+		}
+		kfs2, _, err := ext4dax.Mount(dev, ext4dax.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: remount: %v", seed, err)
+		}
+		fs2, _, err := RecoverFS(kfs2, Config{Mode: Strict,
+			StagingFiles: 4, StagingFileBytes: 2 << 20, OpLogBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("seed %d: recovery: %v", seed, err)
+		}
+		for p, want := range model {
+			got, err := vfs.ReadFile(fs2, p)
+			if err != nil {
+				t.Fatalf("seed %d: read %s after recovery: %v", seed, p, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: %s diverged after recovery: got %d bytes want %d, diff at %d",
+					seed, p, len(got), len(want), firstDiff(got, want))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package splitfs
+
+import (
+	"fmt"
+
+	"splitfs/internal/sim"
+)
+
+// relinkLocked applies a file's staged ranges to the target file (§3.4):
+// block-aligned runs move by relink (no data copy); unaligned head/tail
+// bytes are copied through the kernel, as the paper prescribes for
+// partial blocks. Every step joins one K-Split journal transaction, so
+// the whole fsync batch is atomic. Caller holds fs.mu.
+//
+// Recovery safety needs no markers: each strict-mode log entry names its
+// staging range, and relink punches exactly the block-aligned ranges it
+// moved. Replay re-applies an entry only if its staging range is still
+// allocated; punched ranges mean the relink transaction committed.
+// Copy-only (sub-block) entries are idempotent to re-apply.
+func (fs *FS) relinkLocked(of *ofile) error {
+	if len(of.staged) == 0 {
+		// Nothing staged: fsync only fences outstanding stores (in-place
+		// overwrites in POSIX mode).
+		fs.dev.Fence()
+		return nil
+	}
+	staged := of.staged
+	of.staged = nil
+	// The active chunk survives the relink: only the bytes consumed so
+	// far are moved/punched, and the chunk tail stays byte-continuous
+	// with the file, so subsequent appends keep packing into it. Without
+	// this, WAL-style workloads (small append + fsync per operation)
+	// would burn one chunk per fsync.
+	fs.stats.Relinks++
+
+	if fs.cfg.DisableRelink {
+		// Fig 3 ablation: staging without relink — copy everything
+		// through the kernel on fsync.
+		return fs.copyStaged(of, staged)
+	}
+
+	for i, s := range staged {
+		a, b := s.fileOff, s.fileOff+s.length
+		if s.dram != nil {
+			// DRAM-staged data has no PM blocks to relink: copy it all
+			// (§4: this copy is why DRAM staging loses).
+			if err := fs.copyRange(of, s, a, b); err != nil {
+				return err
+			}
+			continue
+		}
+		head := (a + sim.BlockSize - 1) / sim.BlockSize * sim.BlockSize
+		tail := b / sim.BlockSize * sim.BlockSize
+		// Whole blocks move by relink; the partial head and tail are
+		// copied (§3.3: "SplitFS copies the partial data for that block").
+		// Block-aligned appends — the common case the paper measures —
+		// therefore incur no copying at all.
+		if head > a {
+			stop := head
+			if stop > b {
+				stop = b
+			}
+			if err := fs.copyRange(of, s, a, stop); err != nil {
+				return err
+			}
+		}
+		if tail > head {
+			newSize := of.size
+			if i < len(staged)-1 {
+				newSize = 0 // only the last step extends the size
+			}
+			err := fs.kfs.RelinkStep(s.sf.kf, of.kf,
+				s.sfOff+(head-a), head, tail-head, newSize)
+			if err != nil {
+				return fmt.Errorf("relinkstep a=%d b=%d head=%d tail=%d sfOff=%d: %w", a, b, head, tail, s.sfOff, err)
+			}
+			fs.stats.RelinkBlocks += (tail - head) / sim.BlockSize
+		}
+		if b > tail && tail >= head {
+			if err := fs.copyRange(of, s, tail, b); err != nil {
+				return err
+			}
+		}
+	}
+	// In strict mode, advance the inode's relink watermark in the same
+	// transaction: every log entry for this file with seq <= watermark is
+	// now covered by the relink, and recovery must not replay it (an
+	// older copy-only entry replayed over newer relinked data would
+	// corrupt the file).
+	if fs.olog != nil {
+		of.kf.SetUserWatermark(fs.opSeq)
+	}
+	// One commit makes the whole batch atomic (the relink ioctl's
+	// journal transaction).
+	if err := fs.kfs.CommitMeta(); err != nil {
+		return err
+	}
+	// The modified ioctl keeps existing memory mappings valid across the
+	// swap (§3.5); staged ranges were written through staging-file
+	// mappings that remain valid too. Refresh both at no fault cost.
+	for _, s := range staged {
+		fs.mmaps.refresh(of, s.fileOff, s.length, s.dram == nil)
+	}
+	if of.size > of.ksize {
+		of.ksize = of.size
+	}
+	info := fs.attrs[of.path]
+	info.Size = of.size
+	fs.attrs[of.path] = info
+	return nil
+}
+
+// copyRange copies staged bytes [a, b) through the kernel write path (the
+// partial-block copy of §3.3). Caller holds fs.mu.
+func (fs *FS) copyRange(of *ofile, s stagedRange, a, b int64) error {
+	buf := make([]byte, b-a)
+	if s.dram != nil {
+		fs.clk.Charge(sim.CatCPU, sim.ChargeBytes(len(buf), sim.DRAMCopyPsPerByte))
+		copy(buf, s.dram[a-s.fileOff:])
+	} else {
+		s.sf.m.Load(buf, s.sfOff+(a-s.fileOff))
+	}
+	if _, err := of.kf.WriteAt(buf, a); err != nil {
+		return err
+	}
+	fs.stats.CopiedBytes += b - a
+	return nil
+}
+
+// copyStaged is the no-relink fallback (Fig 3 ablation): every staged
+// byte is copied through the kernel and fsynced.
+func (fs *FS) copyStaged(of *ofile, staged []stagedRange) error {
+	for _, s := range staged {
+		if err := fs.copyRange(of, s, s.fileOff, s.fileOff+s.length); err != nil {
+			return err
+		}
+	}
+	if fs.olog != nil {
+		of.kf.SetUserWatermark(fs.opSeq)
+	}
+	if err := of.kf.Sync(); err != nil {
+		return err
+	}
+	if of.size > of.ksize {
+		of.ksize = of.size
+	}
+	info := fs.attrs[of.path]
+	info.Size = of.size
+	fs.attrs[of.path] = info
+	return nil
+}
+
+// checkpointLocked relinks every file with staged data, then zeroes the
+// operation log for reuse (§3.3: "If it becomes full, we checkpoint the
+// state of the application by calling relink() on all the open files
+// that have data in staging files. We then zero out the log and reuse
+// it."). Caller holds fs.mu.
+func (fs *FS) checkpointLocked() {
+	for _, of := range fs.files {
+		if len(of.staged) > 0 {
+			if err := fs.relinkLocked(of); err != nil {
+				panic("splitfs: checkpoint relink failed: " + err.Error())
+			}
+		}
+	}
+	fs.olog.reset()
+	fs.stats.Checkpoints++
+}

@@ -1,0 +1,282 @@
+// Package splitfs implements the paper's primary contribution: U-Split, a
+// user-space library file system layered on the ext4 DAX kernel file
+// system (K-Split, package ext4dax).
+//
+// Division of labour (§3.3):
+//
+//   - Data operations (read, overwrite) are served in user space through a
+//     collection of memory-mappings — processor loads and non-temporal
+//     stores, no kernel traps.
+//   - Appends (and, in strict mode, overwrites) are redirected to
+//     pre-allocated staging files and relinked into the target file on
+//     fsync via the relink primitive — no data copies for block-aligned
+//     ranges.
+//   - Metadata operations (open, close, unlink, mkdir, ...) pass through
+//     to K-Split, inheriting ext4's mature metadata path.
+//
+// Three consistency modes (§3.2, Table 3) per instance:
+//
+//	POSIX  — metadata consistency, atomic appends (ext4 DAX equivalent).
+//	Sync   — + synchronous data and metadata ops (PMFS / NOVA-Relaxed).
+//	Strict — + atomic operations via the optimized operation log
+//	         (NOVA-Strict / Strata equivalent).
+//
+// Multiple instances with different modes can share one K-Split, as in
+// the paper's multi-application deployments.
+package splitfs
+
+import (
+	"fmt"
+	"sync"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// Mode is the consistency mode of a U-Split instance.
+type Mode int
+
+const (
+	// POSIX provides metadata consistency plus atomic appends.
+	POSIX Mode = iota
+	// Sync additionally makes every operation synchronous.
+	Sync
+	// Strict additionally makes every operation atomic.
+	Strict
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case POSIX:
+		return "posix"
+	case Sync:
+		return "sync"
+	case Strict:
+		return "strict"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config holds the tunable parameters of §3.6.
+type Config struct {
+	// Mode selects the consistency mode (default POSIX).
+	Mode Mode
+	// MmapBytes is the size of each memory-mapping in the collection of
+	// mmaps (§3.6: 2 MB to 512 MB, default 2 MB to enable huge pages).
+	MmapBytes int64
+	// StagingFiles is the number of staging files pre-allocated at
+	// startup (§3.6: default 10).
+	StagingFiles int
+	// StagingFileBytes is the size of each staging file (paper: 160 MB;
+	// scaled default here 4 MB).
+	StagingFileBytes int64
+	// StagingChunkBytes is the per-file reservation unit inside a staging
+	// file (default 256 KB).
+	StagingChunkBytes int64
+	// OpLogBytes is the strict-mode operation log size (paper: 128 MB;
+	// scaled default here 8 MB).
+	OpLogBytes int64
+	// DisableHugePages turns off 2 MB mappings (for the §4 ablation).
+	DisableHugePages bool
+	// DisableStaging routes appends through the kernel (for the Fig 3
+	// technique breakdown).
+	DisableStaging bool
+	// DisableRelink makes fsync copy staged data through the kernel
+	// instead of relinking (for the Fig 3 technique breakdown).
+	DisableRelink bool
+	// StageInDRAM buffers staged writes in DRAM instead of PM staging
+	// files — the design alternative §4 discusses and rejects ("the cost
+	// of copying data from DRAM to PM on fsync() overshadowed the
+	// benefit"). fsync must then copy every byte through the kernel.
+	// Only meaningful for POSIX mode; it forfeits strict-mode recovery.
+	StageInDRAM bool
+}
+
+func (c *Config) fill() {
+	if c.MmapBytes == 0 {
+		c.MmapBytes = 2 << 20
+	}
+	if c.StagingFiles == 0 {
+		c.StagingFiles = 10
+	}
+	if c.StagingFileBytes == 0 {
+		c.StagingFileBytes = 4 << 20
+	}
+	if c.StagingChunkBytes == 0 {
+		c.StagingChunkBytes = 256 << 10
+	}
+	if c.OpLogBytes == 0 {
+		c.OpLogBytes = 8 << 20
+	}
+}
+
+// Stats counts U-Split activity.
+type Stats struct {
+	UserReads    int64 // reads served from user space
+	UserWrites   int64 // overwrites served from user space
+	Appends      int64 // staged appends
+	Relinks      int64 // relink invocations
+	RelinkBlocks int64 // blocks moved without copying
+	CopiedBytes  int64 // unaligned bytes copied through the kernel at fsync
+	LogEntries   int64
+	Checkpoints  int64 // op-log checkpoints
+	MmapHits     int64
+	MmapMisses   int64
+}
+
+// FS is a U-Split instance.
+type FS struct {
+	kfs  *ext4dax.FS
+	dev  *pmem.Device
+	clk  *sim.Clock
+	cfg  Config
+	mode Mode
+
+	mu      sync.Mutex
+	files   map[uint64]*ofile // live open files by inode
+	attrs   map[string]vfs.FileInfo
+	staging *stagingPool
+	mmaps   *mmapCache
+	olog    *oplog // nil unless Strict
+	opSeq   uint64 // monotone operation sequence for log entries
+	stats   Stats
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// ofile is the shared open-file description U-Split keeps per inode
+// (§3.5: one offset per open file, dup'd descriptors share it).
+type ofile struct {
+	ino  uint64
+	path string
+	kf   *ext4dax.File
+
+	size   int64 // U-Split's view, including staged appends
+	ksize  int64 // K-Split's view (what has been relinked)
+	staged []stagedRange
+	active *stagingChunk // current append region
+	refs   int
+}
+
+// stagedRange maps a file range onto a staging file — or onto a DRAM
+// buffer in the StageInDRAM ablation.
+type stagedRange struct {
+	fileOff int64
+	length  int64
+	sf      *stagingFile
+	sfOff   int64
+	dram    []byte // non-nil in the StageInDRAM configuration
+}
+
+// New creates a U-Split instance over a mounted K-Split, pre-allocating
+// its staging files and (in strict mode) its operation log.
+func New(kfs *ext4dax.FS, cfg Config) (*FS, error) {
+	cfg.fill()
+	fs := &FS{
+		kfs:   kfs,
+		dev:   kfs.Device(),
+		clk:   kfs.Device().Clock(),
+		cfg:   cfg,
+		mode:  cfg.Mode,
+		files: make(map[uint64]*ofile),
+		attrs: make(map[string]vfs.FileInfo),
+	}
+	fs.mmaps = newMmapCache(fs)
+	var err error
+	fs.staging, err = newStagingPool(fs)
+	if err != nil {
+		return nil, fmt.Errorf("splitfs: staging pool: %w", err)
+	}
+	if fs.mode == Strict {
+		fs.olog, err = newOpLog(fs)
+		if err != nil {
+			return nil, fmt.Errorf("splitfs: operation log: %w", err)
+		}
+	}
+	// Make the staging files and operation log durable before any data is
+	// staged into them: recovery depends on their extents being owned.
+	if err := kfs.CommitMeta(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return "splitfs-" + fs.mode.String() }
+
+// Mode returns the instance's consistency mode.
+func (fs *FS) Mode() Mode { return fs.mode }
+
+// KFS exposes the kernel file system (for tests and tooling).
+func (fs *FS) KFS() *ext4dax.FS { return fs.kfs }
+
+// Stats snapshots the U-Split counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// MemoryUsage estimates U-Split's DRAM footprint in bytes (§5.10).
+func (fs *FS) MemoryUsage() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var b int64
+	for _, of := range fs.files {
+		b += 200 + int64(len(of.path)) + int64(len(of.staged))*48
+	}
+	b += int64(len(fs.attrs)) * 96
+	b += fs.mmaps.memoryUsage()
+	b += fs.staging.memoryUsage()
+	if fs.olog != nil {
+		b += 64 // DRAM tail + bookkeeping
+	}
+	return b
+}
+
+func (fs *FS) bookkeep() {
+	fs.clk.Charge(sim.CatCPU, sim.USplitBookkeepNs)
+}
+
+// syncMeta makes a metadata mutation durable in sync and strict modes
+// (Table 3: synchronous metadata operations). Committing an empty journal
+// transaction is free, so calling this after every metadata op only costs
+// when something actually changed.
+func (fs *FS) syncMeta() error {
+	if fs.mode == POSIX {
+		return nil
+	}
+	return fs.kfs.CommitMeta()
+}
+
+// lookupStaged returns the staged ranges overlapping [off, off+n),
+// oldest first. Caller holds fs.mu.
+func (of *ofile) overlaps(off, n int64) []stagedRange {
+	var out []stagedRange
+	end := off + n
+	for _, s := range of.staged {
+		if s.fileOff < end && off < s.fileOff+s.length {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// addStaged records a staged write, merging with the previous range when
+// both file offsets and staging bytes are contiguous (consecutive appends
+// into one relink run).
+func (of *ofile) addStaged(r stagedRange) {
+	if n := len(of.staged); n > 0 {
+		last := &of.staged[n-1]
+		if last.fileOff+last.length == r.fileOff &&
+			last.sf == r.sf && last.sfOff+last.length == r.sfOff {
+			last.length += r.length
+			return
+		}
+	}
+	of.staged = append(of.staged, r)
+}

@@ -1,0 +1,181 @@
+package splitfs
+
+import (
+	"fmt"
+	"sync"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// stagingDir is where U-Split keeps its staging files on K-Split.
+const stagingDir = "/.splitfs-staging"
+
+// stagingFile is one pre-allocated staging file, fully memory-mapped so
+// staged writes are pure user-space stores.
+type stagingFile struct {
+	id   int
+	kf   *ext4dax.File
+	m    *ext4dax.Mapping
+	size int64
+	tail int64 // next unreserved byte
+}
+
+// stagingChunk is a reservation inside a staging file, aligned so that
+// chunk offsets are congruent (mod 4 KB) with the file offsets they
+// stage — the alignment relink needs to swap whole blocks.
+type stagingChunk struct {
+	sf   *stagingFile
+	base int64 // first byte of the reservation
+	end  int64 // first byte past it
+	used int64 // bytes consumed
+}
+
+// stagingPool manages the staging files (§3.5: ten files pre-allocated at
+// startup; a new one is created when one is used up — here synchronously,
+// counted in Stats, since the reproduction is single-threaded virtual
+// time; see DESIGN.md).
+type stagingPool struct {
+	fs *FS
+
+	mu      sync.Mutex
+	ready   []*stagingFile
+	current *stagingFile
+	nextID  int
+	created int // files created after startup ("background thread" work)
+}
+
+func newStagingPool(fs *FS) (*stagingPool, error) {
+	p := &stagingPool{fs: fs}
+	if err := fs.kfs.Mkdir(stagingDir, 0700); err != nil &&
+		fs.kfs != nil {
+		// Directory may already exist when several U-Split instances
+		// share one K-Split.
+		if _, statErr := fs.kfs.Stat(stagingDir); statErr != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < fs.cfg.StagingFiles; i++ {
+		sf, err := p.createFile()
+		if err != nil {
+			return nil, err
+		}
+		p.ready = append(p.ready, sf)
+	}
+	return p, nil
+}
+
+// createFile pre-allocates and maps one staging file.
+func (p *stagingPool) createFile() (*stagingFile, error) {
+	id := p.nextID
+	p.nextID++
+	path := fmt.Sprintf("%s/stage-%s-%d", stagingDir, p.fs.mode, id)
+	f, err := p.fs.kfs.OpenFile(path, vfs.O_RDWR|vfs.O_CREATE|vfs.O_TRUNC, 0600)
+	if err != nil {
+		return nil, err
+	}
+	kf := f.(*ext4dax.File)
+	blocks := p.fs.cfg.StagingFileBytes / sim.BlockSize
+	if err := kf.Preallocate(blocks); err != nil {
+		return nil, err
+	}
+	m, err := p.fs.kfs.Mmap(kf, 0, p.fs.cfg.StagingFileBytes, ext4dax.MmapOptions{
+		Populate: true,
+		Huge:     !p.fs.cfg.DisableHugePages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The staging file's metadata must be durable before data staged into
+	// it can count on recovery.
+	if err := p.fs.kfs.CommitMeta(); err != nil {
+		return nil, err
+	}
+	return &stagingFile{id: id, kf: kf, m: m, size: p.fs.cfg.StagingFileBytes}, nil
+}
+
+// reserve hands out a chunk whose base is congruent to align (mod 4 KB).
+// Append chunks are rounded up to the configured chunk size so that
+// consecutive appends pack into one relinkable run; exact reservations
+// (staged overwrites) take only the blocks they cover, since each
+// overwrite relinks independently.
+func (p *stagingPool) reserve(n, align int64, exact bool) (*stagingChunk, error) {
+	p.fs.clk.Charge(sim.CatCPU, sim.USplitStagingNs)
+	want := n
+	if exact {
+		// Cover the partial head and round to whole blocks so the
+		// trailing partial block stays private to this reservation.
+		want = (align%sim.BlockSize + n + sim.BlockSize - 1) /
+			sim.BlockSize * sim.BlockSize
+	} else if want < p.fs.cfg.StagingChunkBytes {
+		want = p.fs.cfg.StagingChunkBytes
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for tries := 0; tries < 3; tries++ {
+		if p.current == nil {
+			if len(p.ready) > 0 {
+				p.current = p.ready[0]
+				p.ready = p.ready[1:]
+			} else {
+				// Pool exhausted: create synchronously (the paper's
+				// background thread; see DESIGN.md).
+				sf, err := p.createFile()
+				if err != nil {
+					return nil, err
+				}
+				p.created++
+				p.current = sf
+			}
+		}
+		sf := p.current
+		base := (sf.tail + sim.BlockSize - 1) / sim.BlockSize * sim.BlockSize
+		base += align % sim.BlockSize
+		if base+want <= sf.size {
+			sf.tail = base + want
+			return &stagingChunk{sf: sf, base: base, end: base + want}, nil
+		}
+		// Staging file used up; move to the next.
+		p.current = nil
+	}
+	return nil, vfs.ErrNoSpace
+}
+
+// Refill tops the ready pool back up to the configured count, as the
+// paper's background thread would between bursts. Exposed so benchmarks
+// can model off-critical-path pre-allocation.
+func (p *stagingPool) refill() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.ready) < p.fs.cfg.StagingFiles {
+		sf, err := p.createFile()
+		if err != nil {
+			return err
+		}
+		p.ready = append(p.ready, sf)
+	}
+	return nil
+}
+
+func (p *stagingPool) memoryUsage() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := int64(len(p.ready))
+	if p.current != nil {
+		n++
+	}
+	return n * 128
+}
+
+// Refill exposes staging-pool replenishment (the paper's background
+// thread) for benchmark harnesses.
+func (fs *FS) Refill() error { return fs.staging.refill() }
+
+// StagingFilesCreated reports how many staging files were created after
+// startup — the work the paper's background thread absorbs (§5.10).
+func (fs *FS) StagingFilesCreated() int {
+	fs.staging.mu.Lock()
+	defer fs.staging.mu.Unlock()
+	return fs.staging.created
+}

@@ -1,0 +1,104 @@
+package vfs
+
+import "sync"
+
+// FDTable maps small integer descriptors to open files with POSIX dup
+// semantics: Dup returns a new descriptor sharing the same open file
+// description (and therefore the same offset — the behaviour the paper
+// calls out in "Handling dup", §3.5). The underlying File is closed only
+// when its last descriptor is closed.
+type FDTable struct {
+	mu   sync.Mutex
+	next int
+	fds  map[int]*fdEntry
+}
+
+type fdEntry struct {
+	file File
+	refs *int // shared across dup'd descriptors
+}
+
+// NewFDTable returns an empty table. Descriptors start at 3, leaving room
+// for the conventional stdio numbers.
+func NewFDTable() *FDTable {
+	return &FDTable{next: 3, fds: make(map[int]*fdEntry)}
+}
+
+// Insert registers an open file and returns its descriptor.
+func (t *FDTable) Insert(f File) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := t.next
+	t.next++
+	refs := 1
+	t.fds[fd] = &fdEntry{file: f, refs: &refs}
+	return fd
+}
+
+// Get resolves a descriptor.
+func (t *FDTable) Get(fd int) (File, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.fds[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return e.file, nil
+}
+
+// Dup duplicates a descriptor; both descriptors share one offset.
+func (t *FDTable) Dup(fd int) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.fds[fd]
+	if !ok {
+		return -1, ErrBadFD
+	}
+	nfd := t.next
+	t.next++
+	*e.refs++
+	t.fds[nfd] = &fdEntry{file: e.file, refs: e.refs}
+	return nfd, nil
+}
+
+// Close releases a descriptor, closing the file when no descriptors
+// remain.
+func (t *FDTable) Close(fd int) error {
+	t.mu.Lock()
+	e, ok := t.fds[fd]
+	if !ok {
+		t.mu.Unlock()
+		return ErrBadFD
+	}
+	delete(t.fds, fd)
+	*e.refs--
+	last := *e.refs == 0
+	t.mu.Unlock()
+	if last {
+		return e.file.Close()
+	}
+	return nil
+}
+
+// Len reports the number of live descriptors.
+func (t *FDTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.fds)
+}
+
+// Files returns the distinct open files, for snapshot/restore (the
+// execve analogue, §3.5).
+func (t *FDTable) Files() []File {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[File]bool)
+	var out []File
+	for _, e := range t.fds {
+		if !seen[e.file] {
+			seen[e.file] = true
+			out = append(out, e.file)
+		}
+	}
+	return out
+}

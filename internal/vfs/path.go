@@ -1,0 +1,52 @@
+package vfs
+
+import "strings"
+
+// CleanPath normalizes a path to an absolute, slash-separated form with no
+// empty or "." components. ".." components are resolved lexically. The
+// root is "/".
+func CleanPath(p string) string {
+	parts := SplitPath(p)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// SplitPath splits a path into its non-empty components, resolving "." and
+// "..".
+func SplitPath(p string) []string {
+	var out []string
+	for _, c := range strings.Split(p, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SplitDir splits a cleaned path into its parent directory and base name.
+// SplitDir("/a/b/c") = ("/a/b", "c"); SplitDir("/a") = ("/", "a").
+func SplitDir(p string) (dir, base string) {
+	parts := SplitPath(p)
+	if len(parts) == 0 {
+		return "/", ""
+	}
+	base = parts[len(parts)-1]
+	if len(parts) == 1 {
+		return "/", base
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/"), base
+}
+
+// BaseName returns the final component of a path.
+func BaseName(p string) string {
+	_, b := SplitDir(p)
+	return b
+}

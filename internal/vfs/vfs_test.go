@@ -1,0 +1,158 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"":            "/",
+		"/":           "/",
+		"a":           "/a",
+		"/a/b":        "/a/b",
+		"/a//b/":      "/a/b",
+		"/a/./b":      "/a/b",
+		"/a/../b":     "/b",
+		"/../a":       "/a",
+		"a/b/../c/./": "/a/c",
+	}
+	for in, want := range cases {
+		if got := CleanPath(in); got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitDir(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", ""},
+		{"a/b", "/a", "b"},
+	}
+	for _, c := range cases {
+		d, b := SplitDir(c.in)
+		if d != c.dir || b != c.base {
+			t.Errorf("SplitDir(%q) = (%q,%q), want (%q,%q)", c.in, d, b, c.dir, c.base)
+		}
+	}
+}
+
+func TestCleanPathIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		c := CleanPath(s)
+		return CleanPath(c) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagHelpers(t *testing.T) {
+	if !Readable(O_RDONLY) || !Readable(O_RDWR) || Readable(O_WRONLY) {
+		t.Fatal("Readable wrong")
+	}
+	if !Writable(O_WRONLY) || !Writable(O_RDWR) || Writable(O_RDONLY) {
+		t.Fatal("Writable wrong")
+	}
+	if Readable(O_WRONLY | O_CREATE | O_TRUNC) {
+		t.Fatal("flags beyond access mode must not affect Readable")
+	}
+}
+
+func TestPathError(t *testing.T) {
+	err := WrapPath("open", "/x", ErrNotExist)
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatal("PathError does not unwrap")
+	}
+	if err.Error() != "open /x: file does not exist" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+	if WrapPath("open", "/x", nil) != nil {
+		t.Fatal("WrapPath(nil) != nil")
+	}
+}
+
+// fakeFile counts Close calls for FD table tests.
+type fakeFile struct {
+	File
+	closed int
+	off    int64
+}
+
+func (f *fakeFile) Close() error                       { f.closed++; return nil }
+func (f *fakeFile) Seek(o int64, w int) (int64, error) { f.off = o; return o, nil }
+
+func TestFDTableInsertGetClose(t *testing.T) {
+	tab := NewFDTable()
+	f := &fakeFile{}
+	fd := tab.Insert(f)
+	got, err := tab.Get(fd)
+	if err != nil || got != File(f) {
+		t.Fatalf("Get(%d) = %v, %v", fd, got, err)
+	}
+	if err := tab.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed != 1 {
+		t.Fatalf("file closed %d times, want 1", f.closed)
+	}
+	if _, err := tab.Get(fd); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("Get after close = %v, want ErrBadFD", err)
+	}
+}
+
+func TestFDTableDupSharesFileAndDefersClose(t *testing.T) {
+	tab := NewFDTable()
+	f := &fakeFile{}
+	fd := tab.Insert(f)
+	dup, err := tab.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := tab.Get(fd)
+	g2, _ := tab.Get(dup)
+	if g1 != g2 {
+		t.Fatal("dup'd descriptors do not share the open file description")
+	}
+	if err := tab.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed != 0 {
+		t.Fatal("file closed while a dup'd descriptor remains")
+	}
+	if err := tab.Close(dup); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed != 1 {
+		t.Fatalf("file closed %d times, want 1", f.closed)
+	}
+}
+
+func TestFDTableErrors(t *testing.T) {
+	tab := NewFDTable()
+	if _, err := tab.Dup(42); !errors.Is(err, ErrBadFD) {
+		t.Fatal("Dup of bad fd must fail")
+	}
+	if err := tab.Close(42); !errors.Is(err, ErrBadFD) {
+		t.Fatal("Close of bad fd must fail")
+	}
+}
+
+func TestFDTableFilesDedups(t *testing.T) {
+	tab := NewFDTable()
+	f := &fakeFile{}
+	fd := tab.Insert(f)
+	if _, err := tab.Dup(fd); err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(&fakeFile{})
+	if got := len(tab.Files()); got != 2 {
+		t.Fatalf("Files() = %d distinct, want 2", got)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tab.Len())
+	}
+}

@@ -1,0 +1,412 @@
+// Package tpcc implements a scaled-down TPC-C online transaction
+// processing workload over the waldb embedded database, reproducing the
+// paper's "TPC-C on SQLite (WAL mode)" evaluation (§5.2). The five
+// transaction types run in the standard mix — NewOrder 45%, Payment 43%,
+// OrderStatus 4%, Delivery 4%, StockLevel 4% — with TPC-C's key access
+// skews (1% remote warehouses, NURand-ish customer selection).
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"splitfs/internal/apps/waldb"
+	"splitfs/internal/sim"
+)
+
+// Config scales the benchmark.
+type Config struct {
+	// Warehouses (paper-standard W; default 2).
+	Warehouses int
+	// DistrictsPerWarehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000; scaled default 100).
+	Customers int
+	// Items (spec: 100000; scaled default 1000).
+	Items int
+	// Seed for the deterministic transaction stream.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Warehouses == 0 {
+		c.Warehouses = 2
+	}
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	if c.Customers == 0 {
+		c.Customers = 100
+	}
+	if c.Items == 0 {
+		c.Items = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Row sizes approximating the TPC-C schema's record widths.
+const (
+	warehouseRow = 96
+	districtRow  = 104
+	customerRow  = 664
+	stockRow     = 312
+	orderRow     = 32
+	orderLineRow = 56
+	newOrderRow  = 8
+	historyRow   = 48
+	itemRow      = 88
+)
+
+// Stats counts executed transactions.
+type Stats struct {
+	NewOrders     int64
+	Payments      int64
+	OrderStatuses int64
+	Deliveries    int64
+	StockLevels   int64
+}
+
+// Total returns all transactions executed.
+func (s Stats) Total() int64 {
+	return s.NewOrders + s.Payments + s.OrderStatuses + s.Deliveries + s.StockLevels
+}
+
+// Bench is a loaded TPC-C database ready to run transactions.
+type Bench struct {
+	cfg Config
+	db  *waldb.DB
+	rng *sim.RNG
+
+	warehouse *waldb.Table
+	district  *waldb.Table
+	customer  *waldb.Table
+	stock     *waldb.Table
+	orders    *waldb.Table
+	orderLine *waldb.Table
+	newOrder  *waldb.Table
+	history   *waldb.Table
+	item      *waldb.Table
+
+	nextOrderID  map[uint64]uint64 // district key -> next order id
+	oldestNewOrd map[uint64]uint64 // district key -> oldest undelivered
+	nextHistory  uint64
+	stats        Stats
+}
+
+// key builders
+func wKey(w int) uint64       { return uint64(w) }
+func dKey(w, d int) uint64    { return uint64(w)<<8 | uint64(d) }
+func cKey(w, d, c int) uint64 { return uint64(w)<<24 | uint64(d)<<16 | uint64(c) }
+func sKey(w, i int) uint64    { return uint64(w)<<32 | uint64(i) }
+func oKey(w, d int, o uint64) uint64 {
+	return uint64(w)<<40 | uint64(d)<<32 | o
+}
+func olKey(w, d int, o uint64, l int) uint64 {
+	return uint64(w)<<48 | uint64(d)<<40 | o<<8 | uint64(l)
+}
+
+// New loads the initial database population inside bulk transactions.
+func New(db *waldb.DB, cfg Config) (*Bench, error) {
+	cfg.fill()
+	b := &Bench{
+		cfg: cfg, db: db, rng: sim.NewRNG(cfg.Seed),
+		nextOrderID:  make(map[uint64]uint64),
+		oldestNewOrd: make(map[uint64]uint64),
+	}
+	var err error
+	mk := func(name string, size int) *waldb.Table {
+		if err != nil {
+			return nil
+		}
+		t, e := db.NewTable(name, size)
+		if e != nil {
+			err = e
+		}
+		return t
+	}
+	b.warehouse = mk("warehouse", warehouseRow)
+	b.district = mk("district", districtRow)
+	b.customer = mk("customer", customerRow)
+	b.stock = mk("stock", stockRow)
+	b.orders = mk("orders", orderRow)
+	b.orderLine = mk("order_line", orderLineRow)
+	b.newOrder = mk("new_order", newOrderRow)
+	b.history = mk("history", historyRow)
+	b.item = mk("item", itemRow)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.load(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *Bench) load() error {
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	row := make([]byte, 1024)
+	fill := func(n int) []byte {
+		for i := 0; i < n; i++ {
+			row[i] = byte(b.rng.Uint64())
+		}
+		return row[:n]
+	}
+	for i := 1; i <= b.cfg.Items; i++ {
+		if err := b.item.Insert(uint64(i), fill(itemRow)); err != nil {
+			return err
+		}
+	}
+	for w := 1; w <= b.cfg.Warehouses; w++ {
+		if err := b.warehouse.Insert(wKey(w), fill(warehouseRow)); err != nil {
+			return err
+		}
+		for i := 1; i <= b.cfg.Items; i++ {
+			s := fill(stockRow)
+			binary.LittleEndian.PutUint32(s[0:4], 100) // quantity
+			if err := b.stock.Insert(sKey(w, i), s); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= b.cfg.Districts; d++ {
+			if err := b.district.Insert(dKey(w, d), fill(districtRow)); err != nil {
+				return err
+			}
+			b.nextOrderID[dKey(w, d)] = 1
+			b.oldestNewOrd[dKey(w, d)] = 1
+			for c := 1; c <= b.cfg.Customers; c++ {
+				if err := b.customer.Insert(cKey(w, d, c), fill(customerRow)); err != nil {
+					return err
+				}
+			}
+		}
+		// Commit per warehouse to bound transaction size.
+		if err := b.db.Commit(); err != nil {
+			return err
+		}
+		if err := b.db.Begin(); err != nil {
+			return err
+		}
+	}
+	return b.db.Commit()
+}
+
+// Run executes n transactions in the standard mix and returns the stats.
+func (b *Bench) Run(n int) (Stats, error) {
+	for i := 0; i < n; i++ {
+		var err error
+		switch p := b.rng.Intn(100); {
+		case p < 45:
+			err = b.newOrderTx()
+		case p < 88:
+			err = b.paymentTx()
+		case p < 92:
+			err = b.orderStatusTx()
+		case p < 96:
+			err = b.deliveryTx()
+		default:
+			err = b.stockLevelTx()
+		}
+		if err != nil {
+			return b.stats, fmt.Errorf("tpcc: txn %d: %w", i, err)
+		}
+	}
+	return b.stats, nil
+}
+
+// Stats returns the executed-transaction counters.
+func (b *Bench) Stats() Stats { return b.stats }
+
+func (b *Bench) randWarehouse() int { return b.rng.Intn(b.cfg.Warehouses) + 1 }
+func (b *Bench) randDistrict() int  { return b.rng.Intn(b.cfg.Districts) + 1 }
+func (b *Bench) randCustomer() int  { return b.rng.Intn(b.cfg.Customers) + 1 }
+func (b *Bench) randItem() int      { return b.rng.Intn(b.cfg.Items) + 1 }
+
+// newOrderTx: read customer/district/items, update district and stock,
+// insert order + order lines + new-order (45% of the mix; write-heavy).
+func (b *Bench) newOrderTx() error {
+	b.stats.NewOrders++
+	w, d := b.randWarehouse(), b.randDistrict()
+	c := b.randCustomer()
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	if _, err := b.customer.Get(cKey(w, d, c)); err != nil {
+		return err
+	}
+	drow, err := b.district.Get(dKey(w, d))
+	if err != nil {
+		return err
+	}
+	dmod := append([]byte(nil), drow...)
+	oid := b.nextOrderID[dKey(w, d)]
+	binary.LittleEndian.PutUint64(dmod[0:8], oid+1)
+	if err := b.district.Update(dKey(w, d), dmod); err != nil {
+		return err
+	}
+	b.nextOrderID[dKey(w, d)] = oid + 1
+
+	nLines := b.rng.Intn(11) + 5 // 5-15 order lines
+	orow := make([]byte, orderRow)
+	binary.LittleEndian.PutUint32(orow[0:4], uint32(nLines))
+	if err := b.orders.Insert(oKey(w, d, oid), orow); err != nil {
+		return err
+	}
+	if err := b.newOrder.Insert(oKey(w, d, oid), make([]byte, newOrderRow)); err != nil {
+		return err
+	}
+	for l := 0; l < nLines; l++ {
+		item := b.randItem()
+		supplyW := w
+		if b.cfg.Warehouses > 1 && b.rng.Intn(100) == 0 {
+			supplyW = b.randWarehouse() // 1% remote
+		}
+		if _, err := b.item.Get(uint64(item)); err != nil {
+			return err
+		}
+		srow, err := b.stock.Get(sKey(supplyW, item))
+		if err != nil {
+			return err
+		}
+		smod := append([]byte(nil), srow...)
+		qty := binary.LittleEndian.Uint32(smod[0:4])
+		if qty < 10 {
+			qty += 91
+		}
+		qty -= uint32(b.rng.Intn(10) + 1)
+		binary.LittleEndian.PutUint32(smod[0:4], qty)
+		if err := b.stock.Update(sKey(supplyW, item), smod); err != nil {
+			return err
+		}
+		ol := make([]byte, orderLineRow)
+		binary.LittleEndian.PutUint32(ol[0:4], uint32(item))
+		if err := b.orderLine.Insert(olKey(w, d, oid, l), ol); err != nil {
+			return err
+		}
+	}
+	return b.db.Commit()
+}
+
+// paymentTx: update warehouse, district, customer balances; insert
+// history (43%).
+func (b *Bench) paymentTx() error {
+	b.stats.Payments++
+	w, d := b.randWarehouse(), b.randDistrict()
+	c := b.randCustomer()
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	for _, step := range []struct {
+		t *waldb.Table
+		k uint64
+	}{
+		{b.warehouse, wKey(w)},
+		{b.district, dKey(w, d)},
+		{b.customer, cKey(w, d, c)},
+	} {
+		row, err := step.t.Get(step.k)
+		if err != nil {
+			return err
+		}
+		mod := append([]byte(nil), row...)
+		amt := binary.LittleEndian.Uint64(mod[8:16]) + uint64(b.rng.Intn(5000))
+		binary.LittleEndian.PutUint64(mod[8:16], amt)
+		if err := step.t.Update(step.k, mod); err != nil {
+			return err
+		}
+	}
+	b.nextHistory++
+	if err := b.history.Insert(b.nextHistory, make([]byte, historyRow)); err != nil {
+		return err
+	}
+	return b.db.Commit()
+}
+
+// orderStatusTx: read-only customer + last order + lines (4%).
+func (b *Bench) orderStatusTx() error {
+	b.stats.OrderStatuses++
+	w, d := b.randWarehouse(), b.randDistrict()
+	c := b.randCustomer()
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	if _, err := b.customer.Get(cKey(w, d, c)); err != nil {
+		return err
+	}
+	if next := b.nextOrderID[dKey(w, d)]; next > 1 {
+		oid := next - 1
+		if row, err := b.orders.Get(oKey(w, d, oid)); err == nil {
+			nLines := int(binary.LittleEndian.Uint32(row[0:4]))
+			for l := 0; l < nLines; l++ {
+				b.orderLine.Get(olKey(w, d, oid, l))
+			}
+		}
+	}
+	return b.db.Commit()
+}
+
+// deliveryTx: pop the oldest new-order of each district, update the
+// order (4%).
+func (b *Bench) deliveryTx() error {
+	b.stats.Deliveries++
+	w := b.randWarehouse()
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	for d := 1; d <= b.cfg.Districts; d++ {
+		oldest := b.oldestNewOrd[dKey(w, d)]
+		if !b.newOrder.Has(oKey(w, d, oldest)) {
+			continue
+		}
+		row, err := b.orders.Get(oKey(w, d, oldest))
+		if err != nil {
+			return err
+		}
+		mod := append([]byte(nil), row...)
+		binary.LittleEndian.PutUint32(mod[4:8], 7) // carrier id
+		if err := b.orders.Update(oKey(w, d, oldest), mod); err != nil {
+			return err
+		}
+		b.oldestNewOrd[dKey(w, d)] = oldest + 1
+	}
+	return b.db.Commit()
+}
+
+// stockLevelTx: read-only district + recent order lines + stock counts
+// (4%).
+func (b *Bench) stockLevelTx() error {
+	b.stats.StockLevels++
+	w, d := b.randWarehouse(), b.randDistrict()
+	if err := b.db.Begin(); err != nil {
+		return err
+	}
+	if _, err := b.district.Get(dKey(w, d)); err != nil {
+		return err
+	}
+	next := b.nextOrderID[dKey(w, d)]
+	lo := uint64(1)
+	if next > 20 {
+		lo = next - 20
+	}
+	for oid := lo; oid < next; oid++ {
+		row, err := b.orders.Get(oKey(w, d, oid))
+		if err != nil {
+			continue
+		}
+		nLines := int(binary.LittleEndian.Uint32(row[0:4]))
+		for l := 0; l < nLines; l++ {
+			olrow, err := b.orderLine.Get(olKey(w, d, oid, l))
+			if err != nil {
+				continue
+			}
+			item := int(binary.LittleEndian.Uint32(olrow[0:4]))
+			if item > 0 {
+				b.stock.Get(sKey(w, item))
+			}
+		}
+	}
+	return b.db.Commit()
+}

@@ -1,0 +1,107 @@
+package tpcc
+
+import (
+	"testing"
+
+	"splitfs/internal/apps/waldb"
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 512 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func smallCfg() Config {
+	return Config{Warehouses: 1, Districts: 2, Customers: 20, Items: 50, Seed: 9}
+}
+
+func TestLoadAndRunMix(t *testing.T) {
+	db, err := waldb.Open(newFS(t), waldb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(db, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() != 500 {
+		t.Fatalf("total = %d", st.Total())
+	}
+	// The standard mix: NewOrder ~45%, Payment ~43%; allow sampling noise.
+	if frac := float64(st.NewOrders) / 500; frac < 0.35 || frac > 0.55 {
+		t.Fatalf("NewOrder fraction = %.2f", frac)
+	}
+	if frac := float64(st.Payments) / 500; frac < 0.33 || frac > 0.53 {
+		t.Fatalf("Payment fraction = %.2f", frac)
+	}
+	if st.OrderStatuses == 0 || st.Deliveries == 0 || st.StockLevels == 0 {
+		t.Fatalf("missing transaction types: %+v", st)
+	}
+	if db.Stats().Commits == 0 {
+		t.Fatal("no database commits")
+	}
+	db.Close()
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() Stats {
+		db, _ := waldb.Open(newFS(t), waldb.Options{})
+		b, err := New(db, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := b.Run(200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Close()
+		return st
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNewOrderAdvancesOrders(t *testing.T) {
+	db, _ := waldb.Open(newFS(t), waldb.Options{})
+	b, err := New(db, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := int64(0)
+	for _, v := range b.nextOrderID {
+		before += int64(v)
+	}
+	if _, err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	after := int64(0)
+	for _, v := range b.nextOrderID {
+		after += int64(v)
+	}
+	if after-before != b.stats.NewOrders {
+		t.Fatalf("order ids advanced %d, NewOrders %d", after-before, b.stats.NewOrders)
+	}
+	if b.orders.Len() == 0 || b.orderLine.Len() == 0 {
+		t.Fatal("no orders inserted")
+	}
+	db.Close()
+}

@@ -1,0 +1,111 @@
+package utilsim
+
+import (
+	"testing"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 512 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func smallTree() TreeConfig {
+	return TreeConfig{Dirs: 3, FilesPerDir: 5, FileBytes: 2 << 10, Seed: 3}
+}
+
+func TestMakeTree(t *testing.T) {
+	fs := newFS(t)
+	paths, err := MakeTree(fs, "/src", smallTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 15 {
+		t.Fatalf("tree has %d files", len(paths))
+	}
+	for _, p := range paths {
+		info, err := fs.Stat(p)
+		if err != nil || info.Size == 0 {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestGitAddCommit(t *testing.T) {
+	fs := newFS(t)
+	paths, _ := MakeTree(fs, "/src", smallTree())
+	objs, err := GitAddCommit(fs, "/src", "/git", paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs != len(paths) {
+		t.Fatalf("wrote %d objects, want %d", objs, len(paths))
+	}
+	// Second commit of unchanged files writes no new blob objects.
+	objs2, err := GitAddCommit(fs, "/src", "/git", paths, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs2 != 0 {
+		t.Fatalf("unchanged commit wrote %d objects", objs2)
+	}
+	if _, err := fs.Stat("/git/index"); err != nil {
+		t.Fatal("no index written")
+	}
+	if _, err := fs.Stat("/git/HEAD"); err != nil {
+		t.Fatal("no HEAD written")
+	}
+}
+
+func TestTar(t *testing.T) {
+	fs := newFS(t)
+	paths, _ := MakeTree(fs, "/src", smallTree())
+	size, err := Tar(fs, "/out.tar", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/out.tar")
+	if err != nil || info.Size != size {
+		t.Fatalf("archive size %d vs reported %d, %v", info.Size, size, err)
+	}
+	if size%512 != 0 {
+		t.Fatalf("archive not block-padded: %d", size)
+	}
+}
+
+func TestRsync(t *testing.T) {
+	fs := newFS(t)
+	paths, _ := MakeTree(fs, "/src", smallTree())
+	copied, err := Rsync(fs, "/src", "/dst", paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied == 0 {
+		t.Fatal("nothing copied")
+	}
+	// Every file byte-identical at the destination.
+	for _, p := range paths {
+		want, _ := vfs.ReadFile(fs, p)
+		got, err := vfs.ReadFile(fs, "/dst"+p[len("/src"):])
+		if err != nil {
+			t.Fatalf("missing %s: %v", p, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s differs after rsync", p)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark core
+// workloads A-F over the lsmkv key-value store, matching the paper's
+// "YCSB on LevelDB" evaluation (§5.2, Table 7, Fig 5, Fig 6):
+//
+//	A: 50% reads / 50% updates, zipfian
+//	B: 95% reads /  5% updates, zipfian
+//	C: 100% reads, zipfian
+//	D: 95% reads of latest / 5% inserts
+//	E: 95% scans (1-100 records) / 5% inserts
+//	F: 50% reads / 50% read-modify-writes, zipfian
+package ycsb
+
+import (
+	"fmt"
+
+	"splitfs/internal/apps/lsmkv"
+	"splitfs/internal/sim"
+)
+
+// Workload identifies one YCSB core workload.
+type Workload byte
+
+// The six core workloads.
+const (
+	A Workload = 'A'
+	B Workload = 'B'
+	C Workload = 'C'
+	D Workload = 'D'
+	E Workload = 'E'
+	F Workload = 'F'
+)
+
+// Config scales a run.
+type Config struct {
+	// Records loaded in the load phase (paper: 1M; scaled default 2000).
+	Records int
+	// Operations in the run phase (paper: 1M, 500K for E; scaled default
+	// 5000).
+	Operations int
+	// ValueBytes per record (YCSB default: 10 fields x 100 B).
+	ValueBytes int
+	// MaxScan is the maximum scan length for workload E (spec: 100).
+	MaxScan int
+	// Seed drives the deterministic op stream.
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.Records == 0 {
+		c.Records = 2000
+	}
+	if c.Operations == 0 {
+		c.Operations = 5000
+	}
+	if c.ValueBytes == 0 {
+		c.ValueBytes = 1000
+	}
+	if c.MaxScan == 0 {
+		c.MaxScan = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+}
+
+// Stats counts the executed operations.
+type Stats struct {
+	Reads   int64
+	Updates int64
+	Inserts int64
+	Scans   int64
+	RMWs    int64
+	Misses  int64 // reads of keys not found (should be 0)
+}
+
+// Ops returns the total operations.
+func (s Stats) Ops() int64 { return s.Reads + s.Updates + s.Inserts + s.Scans + s.RMWs }
+
+func key(i int64) string { return fmt.Sprintf("user%012d", i) }
+
+// Load performs the load phase: Records sequential inserts.
+func Load(db *lsmkv.DB, cfg Config) (Stats, error) {
+	cfg.fill()
+	rng := sim.NewRNG(cfg.Seed)
+	var st Stats
+	val := make([]byte, cfg.ValueBytes)
+	for i := 0; i < cfg.Records; i++ {
+		for j := range val {
+			val[j] = byte(rng.Uint64())
+		}
+		if err := db.Put(key(int64(i)), val); err != nil {
+			return st, err
+		}
+		st.Inserts++
+	}
+	return st, nil
+}
+
+// Run executes the run phase of workload w against a loaded store.
+func Run(db *lsmkv.DB, w Workload, cfg Config) (Stats, error) {
+	cfg.fill()
+	rng := sim.NewRNG(cfg.Seed ^ uint64(w))
+	zipf := sim.NewZipfian(rng, int64(cfg.Records))
+	latest := sim.NewLatest(rng, int64(cfg.Records))
+	inserted := int64(cfg.Records)
+	var st Stats
+	val := make([]byte, cfg.ValueBytes)
+
+	readKey := func() string {
+		switch w {
+		case D:
+			return key(latest.Next())
+		default:
+			return key(zipf.ScrambledNext())
+		}
+	}
+	read := func() error {
+		st.Reads++
+		if _, err := db.Get(readKey()); err != nil {
+			st.Misses++
+		}
+		return nil
+	}
+	update := func() error {
+		st.Updates++
+		for j := range val {
+			val[j] = byte(rng.Uint64())
+		}
+		return db.Put(readKey(), val)
+	}
+	insert := func() error {
+		st.Inserts++
+		k := key(inserted)
+		inserted++
+		latest.Max = inserted
+		for j := range val {
+			val[j] = byte(rng.Uint64())
+		}
+		return db.Put(k, val)
+	}
+	scan := func() error {
+		st.Scans++
+		start := key(zipf.ScrambledNext())
+		n := rng.Intn(cfg.MaxScan) + 1
+		_, err := db.Scan(start, n)
+		return err
+	}
+	rmw := func() error {
+		st.RMWs++
+		k := readKey()
+		v, err := db.Get(k)
+		if err != nil {
+			st.Misses++
+			v = val
+		}
+		mod := append([]byte(nil), v...)
+		if len(mod) > 0 {
+			mod[0]++
+		}
+		return db.Put(k, mod)
+	}
+
+	for i := 0; i < cfg.Operations; i++ {
+		p := rng.Intn(100)
+		var err error
+		switch w {
+		case A:
+			if p < 50 {
+				err = read()
+			} else {
+				err = update()
+			}
+		case B:
+			if p < 95 {
+				err = read()
+			} else {
+				err = update()
+			}
+		case C:
+			err = read()
+		case D:
+			if p < 95 {
+				err = read()
+			} else {
+				err = insert()
+			}
+		case E:
+			if p < 95 {
+				err = scan()
+			} else {
+				err = insert()
+			}
+		case F:
+			if p < 50 {
+				err = read()
+			} else {
+				err = rmw()
+			}
+		default:
+			return st, fmt.Errorf("ycsb: unknown workload %c", w)
+		}
+		if err != nil {
+			return st, fmt.Errorf("ycsb %c op %d: %w", w, i, err)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,103 @@
+package ycsb
+
+import (
+	"testing"
+
+	"splitfs/internal/apps/lsmkv"
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+func newFS(t testing.TB) vfs.FileSystem {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 512 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := splitfs.New(kfs, splitfs.Config{StagingFiles: 4, StagingFileBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func smallCfg() Config {
+	return Config{Records: 200, Operations: 300, ValueBytes: 100, Seed: 5}
+}
+
+func TestLoadPhase(t *testing.T) {
+	db, err := lsmkv.Open(newFS(t), lsmkv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(db, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != 200 {
+		t.Fatalf("inserts = %d", st.Inserts)
+	}
+	if _, err := db.Get(key(0)); err != nil {
+		t.Fatal("first record missing")
+	}
+	if _, err := db.Get(key(199)); err != nil {
+		t.Fatal("last record missing")
+	}
+	db.Close()
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := map[Workload]func(Stats) bool{
+		A: func(s Stats) bool { return s.Reads > 0 && s.Updates > 0 && s.Scans == 0 },
+		B: func(s Stats) bool { return s.Reads > s.Updates*5 && s.Updates > 0 },
+		C: func(s Stats) bool { return s.Reads == 300 && s.Updates == 0 },
+		D: func(s Stats) bool { return s.Reads > 0 && s.Inserts > 0 },
+		E: func(s Stats) bool { return s.Scans > 0 && s.Inserts > 0 && s.Reads == 0 },
+		F: func(s Stats) bool { return s.Reads > 0 && s.RMWs > 0 },
+	}
+	for w, check := range cases {
+		t.Run(string(w), func(t *testing.T) {
+			db, err := lsmkv.Open(newFS(t), lsmkv.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			if _, err := Load(db, smallCfg()); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Run(db, w, smallCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Ops() != 300 {
+				t.Fatalf("ops = %d", st.Ops())
+			}
+			if !check(st) {
+				t.Fatalf("mix check failed: %+v", st)
+			}
+			if st.Misses > 0 {
+				t.Fatalf("%d read misses; generator out of range", st.Misses)
+			}
+		})
+	}
+}
+
+func TestDeterministicOps(t *testing.T) {
+	run := func() Stats {
+		db, _ := lsmkv.Open(newFS(t), lsmkv.Options{})
+		defer db.Close()
+		Load(db, smallCfg())
+		st, err := Run(db, A, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
