@@ -9,6 +9,7 @@ package splitfs_test
 // and read the rendered tables from cmd/splitbench for the full output.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -62,6 +63,54 @@ func BenchmarkFig5SoftwareOverhead(b *testing.B) { runExperiment(b, "fig5") }
 // BenchmarkFig6Applications regenerates Figure 6: application throughput
 // and the metadata-heavy utilities.
 func BenchmarkFig6Applications(b *testing.B) { runExperiment(b, "fig6") }
+
+// Parallel benchmarks: N worker goroutines over one SplitFS-POSIX
+// instance, distinct files each — the concurrency the sharded PM device
+// and per-file lock hierarchy buy. Reported metrics are aggregate
+// wall-clock Kops/s (meaningful when GOMAXPROCS >= the thread count) and
+// simulated ns/op. Compare threads=4 against threads=1 for the scaling
+// factor.
+func benchConcurrent(b *testing.B, run func() (harness.ConcurrentResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WallKops(), "wall-Kops/s")
+		b.ReportMetric(float64(r.SimNs)/float64(r.Ops), "sim-ns/op")
+	}
+}
+
+func BenchmarkParallelAppends(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchConcurrent(b, func() (harness.ConcurrentResult, error) {
+				return harness.RunConcurrentAppends("splitfs-posix", threads, 2048/threads, 4096)
+			})
+		})
+	}
+}
+
+func BenchmarkParallelReads(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchConcurrent(b, func() (harness.ConcurrentResult, error) {
+				return harness.RunConcurrentReads("splitfs-posix", threads, 4096/threads, 4096)
+			})
+		})
+	}
+}
+
+func BenchmarkParallelWALCommits(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			benchConcurrent(b, func() (harness.ConcurrentResult, error) {
+				return harness.RunConcurrentWAL("splitfs-posix", threads, 256/threads)
+			})
+		})
+	}
+}
 
 // BenchmarkRecovery regenerates the §5.3 recovery-time measurement.
 func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }

@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	splitbench            # run every experiment
-//	splitbench list       # list experiment IDs
-//	splitbench table1 fig4 ...
+//	splitbench                  # run every experiment
+//	splitbench list             # list experiment IDs
+//	splitbench table1 fig4 ...  # run selected experiments
+//	splitbench -threads 8 scaling
+//
+// -threads N sets the worker-goroutine sweep of the concurrent-mode
+// "scaling" experiment to powers of two up to N (default 4). Wall-clock
+// scaling needs GOMAXPROCS >= N.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,7 +22,25 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	threads := flag.Int("threads", 0,
+		"max worker threads for the concurrent-mode scaling experiment (0 keeps the default sweep)")
+	flag.Parse()
+	if *threads < 0 {
+		fmt.Fprintln(os.Stderr, "splitbench: -threads must not be negative")
+		os.Exit(2)
+	}
+	if *threads > 0 {
+		harness.SetMaxThreads(*threads)
+	}
+	args := flag.Args()
+	// flag.Parse stops at the first positional argument; a flag placed
+	// after an experiment ID would otherwise be silently treated as one.
+	for _, a := range args {
+		if len(a) > 0 && a[0] == '-' {
+			fmt.Fprintf(os.Stderr, "splitbench: flags must precede experiment IDs (got %q after positional arguments)\n", a)
+			os.Exit(2)
+		}
+	}
 	if len(args) == 1 && args[0] == "list" {
 		for _, e := range harness.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)

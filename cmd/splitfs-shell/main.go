@@ -105,6 +105,12 @@ func main() {
 				err = h.Sync()
 			}
 		case "rm":
+			// Drop the cached handle: a later write to this path must
+			// create a fresh file, not feed the unlinked one.
+			if h, ok := handles[fields[1]]; ok {
+				h.Close()
+				delete(handles, fields[1])
+			}
 			err = stack.FS.Unlink(fields[1])
 		case "stat":
 			var info vfs.FileInfo

@@ -1,0 +1,3 @@
+module splitfs
+
+go 1.24

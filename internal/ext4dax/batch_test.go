@@ -1,0 +1,104 @@
+package ext4dax
+
+import (
+	"testing"
+	"time"
+
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// The batch handle is what keeps a relink batch atomic against other
+// journal users: while one is open, neither the size-threshold commit
+// nor a concurrent CommitMeta may commit the running transaction.
+
+func newBatchFS(t *testing.T) *FS {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 64 << 20, Clock: sim.NewClock()})
+	fs, err := Mkfs(dev, Config{MaxInodes: 256, TxCommitThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestBatchBlocksThresholdCommit(t *testing.T) {
+	fs := newBatchFS(t)
+	f, err := fs.OpenFile("/f", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fs.Stats().Commits
+	fs.BeginBatch()
+	// Far more journaled ranges than TxCommitThreshold=4: without the
+	// handle, maybeCommit would fire repeatedly.
+	blk := make([]byte, sim.BlockSize)
+	for i := 0; i < 32; i++ {
+		if _, err := f.(*File).WriteAt(blk, int64(i)*sim.BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.Stats().Commits; got != base {
+		t.Fatalf("threshold commit fired inside an open batch: %d commits", got-base)
+	}
+	fs.EndBatch()
+	if err := fs.CommitMeta(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats().Commits; got != base+1 {
+		t.Fatalf("commit after EndBatch: %d commits, want 1", got-base)
+	}
+}
+
+func TestLinkedTracksUnlink(t *testing.T) {
+	fs := newBatchFS(t)
+	f, err := fs.OpenFile("/f", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf := f.(*File)
+	if !kf.Linked() {
+		t.Fatal("fresh file reported unlinked")
+	}
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if kf.Linked() {
+		t.Fatal("handle still reported linked after unlink")
+	}
+	// Recycle the ino: the new file's handle is linked, the ghost is not.
+	g, err := fs.OpenFile("/g", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.(*File).Ino() == kf.Ino() && kf.Linked() {
+		t.Fatal("ghost handle claims the recycled inode")
+	}
+	if !g.(*File).Linked() {
+		t.Fatal("new file reported unlinked")
+	}
+}
+
+func TestCommitMetaWaitsForBatch(t *testing.T) {
+	fs := newBatchFS(t)
+	fs.BeginBatch()
+	done := make(chan struct{})
+	go func() {
+		if err := fs.CommitMeta(); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("CommitMeta returned while a batch handle was open")
+	case <-time.After(20 * time.Millisecond):
+	}
+	fs.EndBatch()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("CommitMeta never woke after EndBatch")
+	}
+}

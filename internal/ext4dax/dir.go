@@ -183,8 +183,11 @@ func (fs *FS) allocInode(isDir bool) (*inode, error) {
 }
 
 // freeInode releases an inode's data blocks, overflow blocks, and number.
-// Caller holds fs.mu.
+// Caller holds fs.mu; the inode lock is taken here because freeing the
+// extents races lock-free readers still holding a handle.
 func (fs *FS) freeInode(in *inode) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	for _, e := range in.extents {
 		dirty := fs.bBmp.Free(e.phys)
 		fs.note(dirty.Off, dirty.Len)
@@ -194,6 +197,7 @@ func (fs *FS) freeInode(in *inode) {
 		fs.note(dirty.Off, dirty.Len)
 	}
 	in.extents, in.overflow = nil, nil
+	in.size, in.blocks = 0, 0
 	dirty := fs.iBmp.Free(alloc.Extent{Start: int64(in.ino), Len: 1})
 	fs.note(dirty.Off, dirty.Len)
 	delete(fs.icache, in.ino)

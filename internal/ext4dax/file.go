@@ -3,6 +3,7 @@ package ext4dax
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/sim"
 	"splitfs/internal/vfs"
@@ -15,9 +16,9 @@ type File struct {
 	flag int
 	path string
 
-	mu     sync.Mutex
+	mu     sync.Mutex // handle offset
 	pos    int64
-	closed bool
+	closed atomic.Bool
 }
 
 var _ vfs.File = (*File)(nil)
@@ -28,6 +29,18 @@ func (f *File) Path() string { return f.path }
 // Ino exposes the inode number (used by U-Split's attribute cache).
 func (f *File) Ino() uint64 { return f.in.ino }
 
+// Linked reports whether the handle's inode is still live in the
+// namespace — this exact inode, not a recycled successor of its number.
+// U-Split checks it before caching an open-file description: a handle
+// that lost a race with unlink still works (tmpfile semantics) but must
+// not be registered under an inode number that may be reallocated.
+func (f *File) Linked() bool {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.icache[f.in.ino] == f.in && f.in.nlink > 0
+}
+
 // Read reads from the handle offset.
 func (f *File) Read(p []byte) (int, error) {
 	f.mu.Lock()
@@ -37,16 +50,14 @@ func (f *File) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write writes at the handle offset (or at EOF with O_APPEND).
+// Write writes at the handle offset (or at EOF with O_APPEND). The EOF
+// offset is resolved under the inode lock, so concurrent O_APPEND writers
+// through distinct handles never overwrite each other.
 func (f *File) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	off := f.pos
-	if f.flag&vfs.O_APPEND != 0 {
-		off = f.in.size
-	}
-	n, err := f.WriteAt(p, off)
-	f.pos = off + int64(n)
+	n, end, err := f.writeAt(p, f.pos, f.flag&vfs.O_APPEND != 0)
+	f.pos = end
 	return n, err
 }
 
@@ -61,7 +72,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case vfs.SeekCur:
 		base = f.pos
 	case vfs.SeekEnd:
+		f.in.mu.RLock()
 		base = f.in.size
+		f.in.mu.RUnlock()
 	default:
 		return 0, vfs.ErrInval
 	}
@@ -74,12 +87,11 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 
 // ReadAt is pread(2): it charges the kernel trap and read path, then
 // copies data out of PM extent by extent. Holes read as zeros. Reads at
-// or past EOF return io.EOF.
+// or past EOF return io.EOF. It takes only the inode's read lock —
+// concurrent reads, and writes to other files, proceed in parallel.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return 0, vfs.ErrClosed
 	}
 	if !vfs.Readable(f.flag) {
@@ -87,11 +99,14 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	}
 	fs.trap()
 	fs.clk.Charge(sim.CatCPU, sim.Ext4ReadPathNs)
-	fs.stats.DataReads++
+	fs.stats.dataReads.Add(1)
+	f.in.mu.RLock()
+	defer f.in.mu.RUnlock()
 	return fs.readLocked(f.in, p, off)
 }
 
-// readLocked copies file content into p. Caller holds fs.mu.
+// readLocked copies file content into p. Caller holds in.mu (read or
+// write side).
 func (fs *FS) readLocked(in *inode, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInval
@@ -136,24 +151,36 @@ func (fs *FS) readLocked(in *inode, p []byte, off int64) (int, error) {
 // extent tree update, journal handle, and new-block zeroing — the
 // software overhead the paper measures in Table 1.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
-	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
-		return 0, vfs.ErrClosed
-	}
-	if !vfs.Writable(f.flag) {
-		return 0, vfs.ErrReadOnly
-	}
-	fs.trap()
-	fs.clk.Charge(sim.CatCPU, sim.Ext4DaxIomapNs)
-	fs.stats.DataWrites++
-	n, err := fs.writeLocked(f.in, p, off)
-	fs.maybeCommit()
+	n, _, err := f.writeAt(p, off, false)
 	return n, err
 }
 
-// writeLocked performs the write. Caller holds fs.mu.
+// writeAt performs the write, resolving atEOF to the current size under
+// the locks, and returns the end offset for handle-position updates.
+func (f *File) writeAt(p []byte, off int64, atEOF bool) (int, int64, error) {
+	fs := f.fs
+	if f.closed.Load() {
+		return 0, off, vfs.ErrClosed
+	}
+	if !vfs.Writable(f.flag) {
+		return 0, off, vfs.ErrReadOnly
+	}
+	fs.trap()
+	fs.clk.Charge(sim.CatCPU, sim.Ext4DaxIomapNs)
+	fs.stats.dataWrites.Add(1)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f.in.mu.Lock()
+	if atEOF {
+		off = f.in.size
+	}
+	n, err := fs.writeLocked(f.in, p, off)
+	f.in.mu.Unlock()
+	fs.maybeCommit()
+	return n, off + int64(n), err
+}
+
+// writeLocked performs the write. Caller holds fs.mu and in.mu.
 func (fs *FS) writeLocked(in *inode, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInval
@@ -257,7 +284,7 @@ func (f *File) Truncate(size int64) error {
 	fs := f.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return vfs.ErrClosed
 	}
 	if !vfs.Writable(f.flag) {
@@ -265,14 +292,16 @@ func (f *File) Truncate(size int64) error {
 	}
 	fs.trap()
 	fs.clk.Charge(sim.CatJournal, sim.Ext4JournalHandleNs)
-	fs.stats.MetaOps++
+	fs.stats.metaOps.Add(1)
+	f.in.mu.Lock()
 	fs.truncateLocked(f.in, size)
+	f.in.mu.Unlock()
 	fs.maybeCommit()
 	return nil
 }
 
 // truncateLocked shrinks or grows (as a hole) the file. Caller holds
-// fs.mu.
+// fs.mu and, for file inodes, in.mu.
 func (fs *FS) truncateLocked(in *inode, size int64) {
 	if size < in.size {
 		fromLogical := (size + sim.BlockSize - 1) / sim.BlockSize
@@ -293,11 +322,12 @@ func (f *File) Sync() error {
 	fs := f.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return vfs.ErrClosed
 	}
 	fs.trap()
 	fs.clk.Charge(sim.CatCPU, sim.Ext4FsyncNs)
+	fs.awaitCommittable()
 	if err := fs.commitTx(); err != nil {
 		return err
 	}
@@ -306,26 +336,32 @@ func (f *File) Sync() error {
 }
 
 // Close implements vfs.File. ext4 keeps no per-handle state beyond the
-// offset, so close is nearly free (Table 6: 0.34 µs).
+// offset, so close is nearly free (Table 6: 0.34 µs) — except for the
+// last close of an orphan (unlinked-while-open) inode, which frees it.
 func (f *File) Close() error {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
-	if f.closed {
+	if !f.closed.CompareAndSwap(false, true) {
 		return vfs.ErrClosed
 	}
-	f.closed = true
-	f.fs.trap()
+	fs := f.fs
+	fs.trap()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f.in.openCnt--
+	if f.in.openCnt == 0 && f.in.orphan {
+		fs.freeInode(f.in)
+		fs.maybeCommit()
+	}
 	return nil
 }
 
 // Stat implements vfs.File.
 func (f *File) Stat() (vfs.FileInfo, error) {
-	f.fs.mu.Lock()
-	defer f.fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return vfs.FileInfo{}, vfs.ErrClosed
 	}
 	f.fs.trap()
+	f.in.mu.RLock()
+	defer f.in.mu.RUnlock()
 	return f.fs.infoOf(f.in), nil
 }
 
@@ -341,6 +377,8 @@ func (f *File) Preallocate(count int64) error {
 	if err != nil {
 		return err
 	}
+	f.in.mu.Lock()
+	defer f.in.mu.Unlock()
 	for i, e := range exts {
 		fs.note(dirties[i].Off, dirties[i].Len)
 		appendFileExtent(f.in, e)

@@ -3,6 +3,7 @@ package ext4dax
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/alloc"
 	"splitfs/internal/journal"
@@ -45,7 +46,22 @@ type Stats struct {
 	Commits    int64
 }
 
+// fsStats are the live counters behind Stats; atomics so the lock-free
+// read path can count traps and reads without fs.mu.
+type fsStats struct {
+	traps      atomic.Int64
+	dataReads  atomic.Int64
+	dataWrites atomic.Int64
+	metaOps    atomic.Int64
+	commits    atomic.Int64
+}
+
 // FS is the ext4 DAX file system (K-Split).
+//
+// Locking: fs.mu guards the namespace (icache, directories), allocators'
+// journaling, and the running transaction. Per-inode locks (inode.mu) let
+// data reads proceed without fs.mu; mutators of file extents/size hold
+// both, fs.mu first (see DESIGN.md).
 type FS struct {
 	dev *pmem.Device
 	clk *sim.Clock
@@ -59,8 +75,13 @@ type FS struct {
 	icache map[uint64]*inode
 	tx     *journal.Tx
 	txN    int
+	// txHold counts open batch handles (BeginBatch); while positive, the
+	// running transaction must not commit — jbd2's "a transaction cannot
+	// commit while handles are open". txIdle signals txHold reaching zero.
+	txHold int
+	txIdle *sync.Cond
 
-	stats Stats
+	stats fsStats
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -79,6 +100,7 @@ func Mkfs(dev *pmem.Device, cfg Config) (*FS, error) {
 		lay:    lay,
 		icache: make(map[uint64]*inode),
 	}
+	fs.txIdle = sync.NewCond(&fs.mu)
 	fs.jnl = journal.New(dev, lay.JournalOff, lay.JournalBlocks)
 	fs.iBmp = alloc.New(dev, lay.InodeBmpOff, 0, lay.MaxInodes)
 	fs.bBmp = alloc.New(dev, lay.BlockBmpOff, lay.DataOff, lay.DataBlocks)
@@ -131,6 +153,7 @@ func Mount(dev *pmem.Device, cfg Config) (*FS, int, error) {
 		lay:    lay,
 		icache: make(map[uint64]*inode),
 	}
+	fs.txIdle = sync.NewCond(&fs.mu)
 	fs.jnl, _, err = journal.Load(dev, lay.JournalOff, lay.JournalBlocks)
 	if err != nil {
 		return nil, 0, err
@@ -168,18 +191,23 @@ func (fs *FS) Device() *pmem.Device { return fs.dev }
 
 // Stats returns a snapshot of file-system counters.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	return Stats{
+		Traps:      fs.stats.traps.Load(),
+		DataReads:  fs.stats.dataReads.Load(),
+		DataWrites: fs.stats.dataWrites.Load(),
+		MetaOps:    fs.stats.metaOps.Load(),
+		Commits:    fs.stats.commits.Load(),
+	}
 }
 
 // FreeBlocks reports remaining data capacity in blocks.
 func (fs *FS) FreeBlocks() int64 { return fs.bBmp.FreeCount() }
 
-// trap charges one user/kernel crossing.
+// trap charges one user/kernel crossing. Lock-free, so the no-fs.mu read
+// path can use it.
 func (fs *FS) trap() {
 	fs.clk.Charge(sim.CatKernelTrap, sim.KernelTrapNs)
-	fs.stats.Traps++
+	fs.stats.traps.Add(1)
 }
 
 // beginTx ensures a running transaction exists. Caller holds fs.mu.
@@ -200,8 +228,13 @@ func (fs *FS) note(off int64, n int) {
 
 // maybeCommit commits the running transaction once it has grown past the
 // jbd2-style threshold. Called at operation boundaries only, so a commit
-// never splits one operation's updates. Caller holds fs.mu.
+// never splits one operation's updates; likewise it never fires while a
+// batch handle is open, so a commit never splits a relink batch. Caller
+// holds fs.mu.
 func (fs *FS) maybeCommit() {
+	if fs.txHold > 0 {
+		return
+	}
 	if fs.txN >= fs.cfg.TxCommitThreshold {
 		if err := fs.commitTx(); err != nil {
 			// A threshold commit failing means the journal is too small
@@ -209,6 +242,36 @@ func (fs *FS) maybeCommit() {
 			// corrupting.
 			panic(fmt.Sprintf("ext4dax: threshold commit failed: %v", err))
 		}
+	}
+}
+
+// BeginBatch opens a batch handle: until the matching EndBatch, the
+// running journal transaction will not commit — not by the size
+// threshold, not by a concurrent CommitMeta or fsync. This is how the
+// relink ioctl keeps a multi-step fsync batch atomic against other
+// journal users (jbd2: a transaction with open handles cannot commit).
+func (fs *FS) BeginBatch() {
+	fs.mu.Lock()
+	fs.txHold++
+	fs.mu.Unlock()
+}
+
+// EndBatch closes a batch handle and wakes committers that were waiting
+// for the transaction to become committable.
+func (fs *FS) EndBatch() {
+	fs.mu.Lock()
+	fs.txHold--
+	if fs.txHold == 0 {
+		fs.txIdle.Broadcast()
+	}
+	fs.mu.Unlock()
+}
+
+// awaitCommittable blocks until no batch handles are open. Caller holds
+// fs.mu (released while waiting).
+func (fs *FS) awaitCommittable() {
+	for fs.txHold > 0 {
+		fs.txIdle.Wait()
 	}
 }
 
@@ -223,7 +286,7 @@ func (fs *FS) commitTx() error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
-	fs.stats.Commits++
+	fs.stats.commits.Add(1)
 	return nil
 }
 

@@ -22,6 +22,7 @@ package ext4dax
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"splitfs/internal/alloc"
 	"splitfs/internal/sim"
@@ -121,7 +122,13 @@ type fileExtent struct {
 func (e fileExtent) logicalEnd() int64 { return e.logical + e.phys.Len }
 
 // inode is the in-DRAM (icache) representation of an on-disk inode.
+//
+// Locking (see DESIGN.md): mutations of extents/size/blocks on file
+// inodes hold fs.mu AND in.mu; the lock-free data read path (File.ReadAt,
+// offset resolution) holds only in.mu.RLock. Directory inodes and the
+// remaining fields are accessed exclusively under fs.mu.
 type inode struct {
+	mu       sync.RWMutex
 	ino      uint64
 	isDir    bool
 	nlink    uint32
@@ -135,6 +142,14 @@ type inode struct {
 	// already covered. Updated in the same journal transaction as the
 	// relink, hence atomic with it.
 	uwm uint64
+	// openCnt counts live File handles; orphan marks an inode whose last
+	// link was removed while handles were open (the tmpfile pattern) —
+	// its blocks and number are freed at the last close, per POSIX, so
+	// the inode number cannot be recycled under an open handle. Both are
+	// guarded by fs.mu. Orphans are DRAM-only state: a crash leaks them
+	// until a future fsck (real ext4 keeps an on-disk orphan list).
+	openCnt int
+	orphan  bool
 	// dir state, populated lazily for directories
 	entries map[string]*dirEntry
 	tailOff int64 // next free byte inside the directory file

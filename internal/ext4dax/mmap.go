@@ -157,6 +157,10 @@ func (m *Mapping) Translate(fileOff int64) (devOff, contig int64, ok bool) {
 	return m.translate(fileOff)
 }
 
+// PageSize returns the page size the mapping was granted (2 MB when Huge,
+// 4 KB otherwise) — the unit of its DRAM page-table overhead.
+func (m *Mapping) PageSize() int64 { return m.pageSz }
+
 // Load copies from the mapping into p using processor loads; no kernel
 // involvement. Returns the bytes copied (short if the mapping ends).
 func (m *Mapping) Load(p []byte, fileOff int64) int {
@@ -199,9 +203,12 @@ func (m *Mapping) StoreNT(p []byte, fileOff int64) int {
 // can implement sync semantics without a syscall.
 func (m *Mapping) Fence() { m.fs.dev.Fence() }
 
-// Unmap tears the mapping down, charging the munmap cost that makes
-// SplitFS unlink expensive (Table 6).
+// Unmap charges the munmap cost that makes SplitFS unlink expensive
+// (Table 6). The translation runs are deliberately left intact: a reader
+// that raced the unmap and still holds the Mapping keeps addressing the
+// same physical bytes (exactly the lazily-reclaimed-pages semantics of a
+// real munmap racing a load), and nulling them here would be a data race
+// with such readers.
 func (m *Mapping) Unmap() {
 	m.fs.clk.Charge(sim.CatKernelTrap, sim.MunmapPerMappingNs)
-	m.runs = nil
 }

@@ -44,13 +44,15 @@ func (fs *FS) openLocked(path string, flag int) (*File, error) {
 			return nil, vfs.ErrIsDir
 		}
 		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) && in.size > 0 {
+			in.mu.Lock()
 			fs.truncateLocked(in, 0)
+			in.mu.Unlock()
 		}
 	} else {
 		if flag&vfs.O_CREATE == 0 {
 			return nil, vfs.ErrNotExist
 		}
-		fs.stats.MetaOps++
+		fs.stats.metaOps.Add(1)
 		in, err = fs.allocInode(false)
 		if err != nil {
 			return nil, err
@@ -61,6 +63,7 @@ func (fs *FS) openLocked(path string, flag int) (*File, error) {
 		}
 	}
 	fs.maybeCommit()
+	in.openCnt++
 	return &File{fs: fs, in: in, flag: flag, path: vfs.CleanPath(path)}, nil
 }
 
@@ -69,7 +72,7 @@ func (fs *FS) Mkdir(path string, perm uint32) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.trap()
-	fs.stats.MetaOps++
+	fs.stats.metaOps.Add(1)
 	parent, base, err := fs.resolveDir(path)
 	if err != nil {
 		return vfs.WrapPath("mkdir", path, err)
@@ -85,7 +88,9 @@ func (fs *FS) Mkdir(path string, perm uint32) error {
 	if err := fs.addDirent(parent, base, in.ino, true); err != nil {
 		return vfs.WrapPath("mkdir", path, err)
 	}
+	parent.mu.Lock()
 	parent.nlink++
+	parent.mu.Unlock()
 	fs.writeInode(parent)
 	fs.maybeCommit()
 	return nil
@@ -97,7 +102,7 @@ func (fs *FS) Unlink(path string) error {
 	defer fs.mu.Unlock()
 	fs.trap()
 	fs.clk.Charge(sim.CatCPU, sim.Ext4UnlinkPathNs)
-	fs.stats.MetaOps++
+	fs.stats.metaOps.Add(1)
 	parent, base, err := fs.resolveDir(path)
 	if err != nil {
 		return vfs.WrapPath("unlink", path, err)
@@ -114,10 +119,20 @@ func (fs *FS) Unlink(path string) error {
 	}
 	in := fs.icache[de.ino]
 	if in != nil {
+		in.mu.Lock()
 		in.nlink--
-		if in.nlink == 0 {
+		last := in.nlink == 0
+		in.mu.Unlock()
+		switch {
+		case last && in.openCnt > 0:
+			// Unlinked while open (tmpfile pattern): POSIX keeps the
+			// inode and its blocks alive until the last close, so open
+			// handles keep reading their data and the inode number
+			// cannot be recycled underneath them.
+			in.orphan = true
+		case last:
 			fs.freeInode(in)
-		} else {
+		default:
 			fs.writeInode(in)
 		}
 	}
@@ -130,7 +145,7 @@ func (fs *FS) Rmdir(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.trap()
-	fs.stats.MetaOps++
+	fs.stats.metaOps.Add(1)
 	parent, base, err := fs.resolveDir(path)
 	if err != nil {
 		return vfs.WrapPath("rmdir", path, err)
@@ -153,7 +168,9 @@ func (fs *FS) Rmdir(path string) error {
 		return vfs.WrapPath("rmdir", path, err)
 	}
 	fs.freeInode(in)
+	parent.mu.Lock()
 	parent.nlink--
+	parent.mu.Unlock()
 	fs.writeInode(parent)
 	fs.maybeCommit()
 	return nil
@@ -165,7 +182,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.trap()
-	fs.stats.MetaOps++
+	fs.stats.metaOps.Add(1)
 	srcParent, srcBase, err := fs.resolveDir(oldPath)
 	if err != nil {
 		return vfs.WrapPath("rename", oldPath, err)
@@ -186,10 +203,16 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 			return vfs.WrapPath("rename", newPath, err)
 		}
 		if tgt := fs.icache[old.ino]; tgt != nil {
+			tgt.mu.Lock()
 			tgt.nlink--
-			if tgt.nlink == 0 {
+			last := tgt.nlink == 0
+			tgt.mu.Unlock()
+			switch {
+			case last && tgt.openCnt > 0:
+				tgt.orphan = true // freed at last close, per POSIX
+			case last:
 				fs.freeInode(tgt)
-			} else {
+			default:
 				fs.writeInode(tgt)
 			}
 		}
@@ -246,6 +269,7 @@ func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.trap()
+	fs.awaitCommittable()
 	if err := fs.commitTx(); err != nil {
 		return err
 	}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"splitfs/internal/apps/waldb"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// Concurrent mode: N worker goroutines drive one file-system instance at
+// once, each over its own files — the multi-threaded deployment of §3.5.
+//
+// The simulated clock is a single global tally and cannot express
+// parallel elapsed time, so concurrent-mode results are wall-clock
+// aggregate throughput: they measure how well the lock hierarchy (sharded
+// PM device, per-file U-Split locks, per-inode K-Split locks) lets
+// independent operations overlap. Meaningful scaling needs GOMAXPROCS >=
+// threads; single-threaded runs of the same loops remain the simulated-
+// time baseline (see DESIGN.md). Run `splitbench -threads N scaling` to
+// sweep.
+
+func init() {
+	register("scaling", "Aggregate wall-clock throughput vs worker threads (concurrent mode)", scalingExp)
+}
+
+// threadCounts is the sweep used by the scaling experiment; see
+// SetMaxThreads.
+var threadCounts = []int{1, 2, 4}
+
+// SetMaxThreads reconfigures the scaling sweep to powers of two up to and
+// including n (cmd/splitbench's -threads flag).
+func SetMaxThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	var counts []int
+	for t := 1; t < n; t *= 2 {
+		counts = append(counts, t)
+	}
+	threadCounts = append(counts, n)
+}
+
+// ConcurrentResult is one measured concurrent run.
+type ConcurrentResult struct {
+	Threads int
+	Ops     int64 // total operations across workers
+	WallNs  int64 // wall-clock elapsed time
+	SimNs   int64 // simulated time charged by all workers together
+}
+
+// WallKops is aggregate wall-clock throughput in Kops/s.
+func (r ConcurrentResult) WallKops() float64 { return kops(r.Ops, r.WallNs) }
+
+// concurrentRun spawns threads workers over fn (worker index, ops per
+// worker) and measures the aggregate.
+func concurrentRun(e *env, threads, opsPerThread int, fn func(worker int) error) (ConcurrentResult, error) {
+	before := e.clk.Snapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs <- fn(g)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+	}
+	return ConcurrentResult{
+		Threads: threads,
+		Ops:     int64(threads) * int64(opsPerThread),
+		WallNs:  time.Since(start).Nanoseconds(),
+		SimNs:   e.clk.Snapshot().Sub(before).Total,
+	}, nil
+}
+
+// RunConcurrentAppends measures threads workers appending blockBytes
+// blocks to distinct files (fsync every 16 appends) on a fresh instance
+// of kind.
+func RunConcurrentAppends(kind string, threads, opsPerThread, blockBytes int) (ConcurrentResult, error) {
+	e, err := newEnv(kind, appDev)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	return concurrentRun(e, threads, opsPerThread, func(g int) error {
+		f, err := vfs.Create(e.fs, fmt.Sprintf("/app%02d", g))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		blk := make([]byte, blockBytes)
+		for i := 0; i < opsPerThread; i++ {
+			if _, err := f.Write(blk); err != nil {
+				return err
+			}
+			if i%16 == 15 {
+				if err := f.Sync(); err != nil {
+					return err
+				}
+			}
+		}
+		return f.Sync()
+	})
+}
+
+// RunConcurrentReads measures threads workers reading blockBytes blocks
+// from distinct pre-written files.
+func RunConcurrentReads(kind string, threads, opsPerThread, blockBytes int) (ConcurrentResult, error) {
+	e, err := newEnv(kind, appDev)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	// Per-worker file size shrinks at extreme thread counts so the
+	// pre-fill never outgrows the device (cap: half of appDev total).
+	fileBlocks := min(512, max(16, int(appDev/2/sim.BlockSize)/threads))
+	for g := 0; g < threads; g++ {
+		f, err := vfs.Create(e.fs, fmt.Sprintf("/rd%02d", g))
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+		blk := make([]byte, blockBytes)
+		for i := 0; i < fileBlocks; i++ {
+			if _, err := f.Write(blk); err != nil {
+				return ConcurrentResult{}, err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return ConcurrentResult{}, err
+		}
+		if err := f.Close(); err != nil {
+			return ConcurrentResult{}, err
+		}
+	}
+	return concurrentRun(e, threads, opsPerThread, func(g int) error {
+		f, err := vfs.Open(e.fs, fmt.Sprintf("/rd%02d", g))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, blockBytes)
+		for i := 0; i < opsPerThread; i++ {
+			off := int64(i*2647%fileBlocks) * int64(blockBytes)
+			if _, err := f.ReadAt(buf, off); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RunConcurrentWAL measures threads workers each committing transactions
+// to their own waldb database (the §5.2 SQLite-WAL app pattern) on one
+// shared instance of kind.
+func RunConcurrentWAL(kind string, threads, txPerThread int) (ConcurrentResult, error) {
+	e, err := newEnv(kind, appDev)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	return concurrentRun(e, threads, txPerThread, func(g int) error {
+		db, err := waldb.Open(e.fs, waldb.Options{Path: fmt.Sprintf("/wal%02d.db", g)})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		page := make([]byte, waldb.PageSize)
+		for i := 0; i < txPerThread; i++ {
+			if err := db.Begin(); err != nil {
+				return err
+			}
+			for p := 0; p < 4; p++ {
+				if err := db.WritePage(uint32(i*4+p)%256+1, page); err != nil {
+					return err
+				}
+			}
+			if err := db.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// scalingExp sweeps worker threads over the append, read, and WAL-commit
+// workloads on ext4 DAX and SplitFS-POSIX. The speedup column is
+// aggregate wall-clock throughput relative to the same workload at one
+// thread.
+func scalingExp() (*Table, error) {
+	t := &Table{
+		ID:    "scaling",
+		Title: "Concurrent-mode aggregate throughput (wall clock)",
+		Note: fmt.Sprintf("threads swept %v (splitbench -threads N); wall-clock scaling needs GOMAXPROCS >= threads — "+
+			"speedup is relative to the 1-thread run of the same workload", threadCounts),
+		Headers: []string{"File system", "Threads",
+			"4K appends (Kops/s)", "x", "4K reads (Kops/s)", "x", "WAL commits (Kops/s)", "x"},
+	}
+	const ops = 2048
+	for _, kind := range []string{"ext4-dax", "splitfs-posix"} {
+		var base [3]float64
+		for ti, threads := range threadCounts {
+			// At least one op per worker, so an extreme -threads value
+			// degrades to more total ops instead of a meaningless 0-op run.
+			a, err := RunConcurrentAppends(kind, threads, max(1, ops/threads), sim.BlockSize)
+			if err != nil {
+				return nil, fmt.Errorf("%s appends x%d: %w", kind, threads, err)
+			}
+			r, err := RunConcurrentReads(kind, threads, max(1, ops/threads), sim.BlockSize)
+			if err != nil {
+				return nil, fmt.Errorf("%s reads x%d: %w", kind, threads, err)
+			}
+			w, err := RunConcurrentWAL(kind, threads, max(1, 256/threads))
+			if err != nil {
+				return nil, fmt.Errorf("%s wal x%d: %w", kind, threads, err)
+			}
+			cur := [3]float64{a.WallKops(), r.WallKops(), w.WallKops()}
+			if ti == 0 {
+				base = cur
+			}
+			rel := func(i int) string {
+				if base[i] == 0 {
+					return "-"
+				}
+				return xf(cur[i] / base[i])
+			}
+			t.Rows = append(t.Rows, []string{
+				kind, fmt.Sprint(threads),
+				f1(cur[0]), rel(0), f1(cur[1]), rel(1), f1(cur[2]), rel(2),
+			})
+		}
+	}
+	return t, nil
+}

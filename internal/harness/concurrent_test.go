@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestConcurrentRunners(t *testing.T) {
+	for _, kind := range []string{"ext4-dax", "splitfs-posix", "splitfs-strict"} {
+		a, err := RunConcurrentAppends(kind, 2, 64, 4096)
+		if err != nil {
+			t.Fatalf("%s appends: %v", kind, err)
+		}
+		if a.Ops != 128 || a.WallNs <= 0 || a.SimNs <= 0 {
+			t.Fatalf("%s appends: implausible result %+v", kind, a)
+		}
+		r, err := RunConcurrentReads(kind, 2, 64, 4096)
+		if err != nil {
+			t.Fatalf("%s reads: %v", kind, err)
+		}
+		if r.Ops != 128 || r.WallNs <= 0 {
+			t.Fatalf("%s reads: implausible result %+v", kind, r)
+		}
+		w, err := RunConcurrentWAL(kind, 2, 8)
+		if err != nil {
+			t.Fatalf("%s wal: %v", kind, err)
+		}
+		if w.Ops != 16 || w.WallNs <= 0 {
+			t.Fatalf("%s wal: implausible result %+v", kind, w)
+		}
+	}
+}
+
+func TestSetMaxThreads(t *testing.T) {
+	defer func() { threadCounts = []int{1, 2, 4} }()
+	SetMaxThreads(8)
+	want := []int{1, 2, 4, 8}
+	if len(threadCounts) != len(want) {
+		t.Fatalf("threadCounts = %v, want %v", threadCounts, want)
+	}
+	for i := range want {
+		if threadCounts[i] != want[i] {
+			t.Fatalf("threadCounts = %v, want %v", threadCounts, want)
+		}
+	}
+	SetMaxThreads(6)
+	want = []int{1, 2, 4, 6}
+	for i := range want {
+		if threadCounts[i] != want[i] {
+			t.Fatalf("threadCounts = %v, want %v", threadCounts, want)
+		}
+	}
+	SetMaxThreads(1)
+	if len(threadCounts) != 1 || threadCounts[0] != 1 {
+		t.Fatalf("threadCounts = %v, want [1]", threadCounts)
+	}
+}

@@ -15,7 +15,16 @@
 //  3. Wear: per-block write counters and total write IO, used for the
 //     paper's write-amplification comparison with Strata (§2.3, §5.8).
 //
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. The device is sharded: the
+// address space is split into contiguous cache-line-aligned ranges, each
+// with its own lock and line-state map, so goroutines operating on
+// disjoint regions (different files, different staging chunks) never
+// contend (see DESIGN.md, "Shard granularity"). Cumulative counters are
+// atomics; per-block wear counters are atomics too. Operations spanning
+// several shards take the shard locks one at a time in ascending order,
+// so cross-shard tearing of a concurrent overlapping read/write pair is
+// possible — which mirrors real hardware, where only cache-line-sized
+// accesses are ever atomic.
 package pmem
 
 import (
@@ -54,7 +63,15 @@ type Config struct {
 	TrackPersistence bool
 	// TrackWear maintains per-4KB-block write counters.
 	TrackWear bool
+	// Shards is the number of independently locked device regions
+	// (default 64). Each shard is a contiguous cache-line-aligned byte
+	// range; operations on disjoint shards proceed concurrently.
+	Shards int
 }
+
+// defaultShards balances lock granularity against the cost of
+// whole-device sweeps (Fence, Crash), which visit every shard.
+const defaultShards = 64
 
 // Stats are cumulative device counters.
 type Stats struct {
@@ -69,16 +86,31 @@ type Stats struct {
 // BytesWritten is the total write IO issued to the device.
 func (s Stats) BytesWritten() int64 { return s.BytesWrittenNT + s.BytesWrittenCached }
 
+// shard owns one contiguous cache-line-aligned byte range of the device:
+// its slice of data/persisted and the persistence state of its lines.
+type shard struct {
+	mu    sync.Mutex
+	lines map[int64]lineState
+	// active is a lock-free hint that lines may be non-empty, so the
+	// device-global sweeps (Fence, UnpersistedLines) skip clean shards
+	// without taking their locks. Set under mu whenever a line is marked;
+	// cleared under mu when the map empties. A store racing a fence was
+	// not ordered before it, so skipping it is exactly sfence semantics.
+	active atomic.Bool
+	// Pad shards apart so neighbouring locks never share a cache line.
+	_ [40]byte
+}
+
 // Device is a simulated PM module.
 type Device struct {
 	cfg   Config
 	clock *sim.Clock
 
-	mu        sync.Mutex
 	data      []byte // volatile view (what loads observe)
 	persisted []byte // durable view (nil unless TrackPersistence)
-	lines     map[int64]lineState
-	wear      []uint32 // writes per 4 KB block (nil unless TrackWear)
+	shards    []shard
+	shardSpan int64           // bytes per shard, a cache-line multiple
+	wear      []atomic.Uint32 // writes per 4 KB block (nil unless TrackWear)
 
 	lastReadEnd atomic.Int64 // for sequential-vs-random latency
 
@@ -103,18 +135,30 @@ func New(cfg Config) *Device {
 	if cfg.Clock == nil {
 		panic("pmem: nil clock")
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards
+	}
 	size := (cfg.Size + sim.CacheLine - 1) / sim.CacheLine * sim.CacheLine
+	span := (size + int64(cfg.Shards) - 1) / int64(cfg.Shards)
+	span = (span + sim.CacheLine - 1) / sim.CacheLine * sim.CacheLine
+	if span < sim.CacheLine {
+		span = sim.CacheLine
+	}
 	d := &Device{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		data:  make([]byte, size),
-		lines: make(map[int64]lineState),
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		data:      make([]byte, size),
+		shards:    make([]shard, (size+span-1)/span),
+		shardSpan: span,
+	}
+	for i := range d.shards {
+		d.shards[i].lines = make(map[int64]lineState)
 	}
 	if cfg.TrackPersistence {
 		d.persisted = make([]byte, size)
 	}
 	if cfg.TrackWear {
-		d.wear = make([]uint32, (size+sim.BlockSize-1)/sim.BlockSize)
+		d.wear = make([]atomic.Uint32, (size+sim.BlockSize-1)/sim.BlockSize)
 	}
 	return d
 }
@@ -125,10 +169,49 @@ func (d *Device) Size() int64 { return int64(len(d.data)) }
 // Clock returns the clock this device charges.
 func (d *Device) Clock() *sim.Clock { return d.clock }
 
+// Shards returns the number of independently locked device regions.
+func (d *Device) Shards() int { return len(d.shards) }
+
 func (d *Device) checkRange(off int64, n int) {
 	if off < 0 || n < 0 || off+int64(n) > int64(len(d.data)) {
 		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of %d bytes",
 			off, off+int64(n), len(d.data)))
+	}
+}
+
+// forShards visits every shard overlapping [off, off+n) in ascending
+// order, holding exactly one shard lock at a time, and calls fn with the
+// byte sub-range [lo, hi) the shard owns. Shard boundaries are cache-line
+// aligned, so each cache line belongs to exactly one shard.
+func (d *Device) forShards(off int64, n int64, fn func(s *shard, lo, hi int64)) {
+	end := off + n
+	for si := off / d.shardSpan; si*d.shardSpan < end; si++ {
+		lo, hi := si*d.shardSpan, (si+1)*d.shardSpan
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		s := &d.shards[si]
+		s.mu.Lock()
+		fn(s, lo, hi)
+		s.mu.Unlock()
+	}
+}
+
+// lockAll acquires every shard lock in ascending order (Crash needs a
+// device-wide consistent point). Safe against forShards because no code
+// path ever holds more than one shard lock while waiting for another.
+func (d *Device) lockAll() {
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+	}
+}
+
+func (d *Device) unlockAll() {
+	for i := range d.shards {
+		d.shards[i].mu.Unlock()
 	}
 }
 
@@ -144,9 +227,9 @@ func (d *Device) ReadAt(p []byte, off int64, cat sim.Category) {
 	d.lastReadEnd.Store(off + int64(len(p)))
 	d.clock.Charge(cat, lat+sim.ChargeBytes(len(p), sim.PMReadPsPerByte))
 	d.nBytesRead.Add(int64(len(p)))
-	d.mu.Lock()
-	copy(p, d.data[off:off+int64(len(p))])
-	d.mu.Unlock()
+	d.forShards(off, int64(len(p)), func(_ *shard, lo, hi int64) {
+		copy(p[lo-off:hi-off], d.data[lo:hi])
+	})
 }
 
 // ReadIntoUser copies device contents into a user buffer, charging the
@@ -161,9 +244,9 @@ func (d *Device) ReadIntoUser(p []byte, off int64, cat sim.Category) {
 	d.lastReadEnd.Store(off + int64(len(p)))
 	d.clock.Charge(cat, lat+sim.ChargeBytes(len(p), sim.PMUserCopyPsPerByte))
 	d.nBytesRead.Add(int64(len(p)))
-	d.mu.Lock()
-	copy(p, d.data[off:off+int64(len(p))])
-	d.mu.Unlock()
+	d.forShards(off, int64(len(p)), func(_ *shard, lo, hi int64) {
+		copy(p[lo-off:hi-off], d.data[lo:hi])
+	})
 }
 
 // Peek copies device contents into p charging only CPU-cache-speed time.
@@ -173,9 +256,9 @@ func (d *Device) ReadIntoUser(p []byte, off int64, cat sim.Category) {
 func (d *Device) Peek(p []byte, off int64) {
 	d.checkRange(off, len(p))
 	d.clock.Charge(sim.CatCPU, sim.ChargeBytes(len(p), sim.StorePsPerByte))
-	d.mu.Lock()
-	copy(p, d.data[off:off+int64(len(p))])
-	d.mu.Unlock()
+	d.forShards(off, int64(len(p)), func(_ *shard, lo, hi int64) {
+		copy(p[lo-off:hi-off], d.data[lo:hi])
+	})
 }
 
 // StoreNT writes p with non-temporal stores: the data bypasses the cache
@@ -199,21 +282,22 @@ func (d *Device) Store(off int64, p []byte, cat sim.Category) {
 }
 
 func (d *Device) write(off int64, p []byte, st lineState) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	copy(d.data[off:], p)
-	first := off / sim.CacheLine
-	last := (off + int64(len(p)) - 1) / sim.CacheLine
-	for ln := first; ln <= last; ln++ {
-		// An NT store to a dirty line still leaves the line pending: the
-		// NT data is in the WPQ regardless of prior cached stores.
-		if st == linePending || d.lines[ln] == 0 {
-			d.lines[ln] = st
+	d.forShards(off, int64(len(p)), func(s *shard, lo, hi int64) {
+		copy(d.data[lo:hi], p[lo-off:hi-off])
+		first := lo / sim.CacheLine
+		last := (hi - 1) / sim.CacheLine
+		for ln := first; ln <= last; ln++ {
+			// An NT store to a dirty line still leaves the line pending: the
+			// NT data is in the WPQ regardless of prior cached stores.
+			if st == linePending || s.lines[ln] == 0 {
+				s.lines[ln] = st
+			}
 		}
-	}
+		s.active.Store(true)
+	})
 	if d.wear != nil {
 		for b := off / sim.BlockSize; b <= (off+int64(len(p))-1)/sim.BlockSize; b++ {
-			d.wear[b]++
+			d.wear[b].Add(1)
 		}
 	}
 }
@@ -227,40 +311,53 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 		return
 	}
 	d.checkRange(off, n)
-	first := off / sim.CacheLine
-	last := (off + int64(n) - 1) / sim.CacheLine
 	dirty := int64(0)
-	d.mu.Lock()
-	for ln := first; ln <= last; ln++ {
-		if d.lines[ln] == lineDirty {
-			d.lines[ln] = linePending
-			dirty++
+	d.forShards(off, int64(n), func(s *shard, lo, hi int64) {
+		first := lo / sim.CacheLine
+		last := (hi - 1) / sim.CacheLine
+		for ln := first; ln <= last; ln++ {
+			if s.lines[ln] == lineDirty {
+				s.lines[ln] = linePending
+				dirty++
+			}
 		}
-	}
-	d.mu.Unlock()
+	})
 	d.nFlushes.Add(dirty)
 	d.clock.Charge(cat, dirty*sim.FlushLineNs)
 }
 
 // Fence issues an sfence: every line in the write-pending queue becomes
-// durable.
+// durable. The write-pending queue is device-global, so the fence sweeps
+// every shard — one at a time, so disjoint stores keep flowing while it
+// drains.
 func (d *Device) Fence() {
 	d.clock.Charge(sim.CatFence, sim.FenceNs)
 	d.nFences.Add(1)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for ln, st := range d.lines {
-		if st != linePending {
+	persisted := int64(0)
+	for i := range d.shards {
+		s := &d.shards[i]
+		if !s.active.Load() {
 			continue
 		}
-		d.persistLine(ln)
-		delete(d.lines, ln)
-		d.nPersisted.Add(1)
+		s.mu.Lock()
+		for ln, st := range s.lines {
+			if st != linePending {
+				continue
+			}
+			d.persistLine(ln)
+			delete(s.lines, ln)
+			persisted++
+		}
+		if len(s.lines) == 0 {
+			s.active.Store(false)
+		}
+		s.mu.Unlock()
 	}
+	d.nPersisted.Add(persisted)
 }
 
 // persistLine copies one cache line from the volatile view to the durable
-// view. Caller holds d.mu.
+// view. Caller holds the lock of the shard owning the line.
 func (d *Device) persistLine(ln int64) {
 	if d.persisted == nil {
 		return
@@ -296,20 +393,24 @@ func (d *Device) Crash(rng *sim.RNG) error {
 	if d.persisted == nil {
 		return ErrNoPersistence
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if rng != nil {
-		for ln := range d.lines {
-			off := ln * sim.CacheLine
-			for w := int64(0); w < sim.CacheLine; w += 8 {
-				if rng.Uint64()&1 == 0 {
-					copy(d.persisted[off+w:off+w+8], d.data[off+w:off+w+8])
+	d.lockAll()
+	defer d.unlockAll()
+	for i := range d.shards {
+		s := &d.shards[i]
+		if rng != nil {
+			for ln := range s.lines {
+				off := ln * sim.CacheLine
+				for w := int64(0); w < sim.CacheLine; w += 8 {
+					if rng.Uint64()&1 == 0 {
+						copy(d.persisted[off+w:off+w+8], d.data[off+w:off+w+8])
+					}
 				}
 			}
 		}
+		s.lines = make(map[int64]lineState)
+		s.active.Store(false)
 	}
 	copy(d.data, d.persisted)
-	d.lines = make(map[int64]lineState)
 	d.lastReadEnd.Store(-1)
 	return nil
 }
@@ -333,22 +434,15 @@ func (d *Device) Wear(off int64) uint32 {
 		return 0
 	}
 	d.checkRange(off, 1)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.wear[off/sim.BlockSize]
+	return d.wear[off/sim.BlockSize].Load()
 }
 
 // MaxWear returns the highest per-block write count, a proxy for the
 // endurance hot spot (§2.1: PM endures ~1e7 write cycles).
 func (d *Device) MaxWear() uint32 {
-	if d.wear == nil {
-		return 0
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var m uint32
-	for _, w := range d.wear {
-		if w > m {
+	for i := range d.wear {
+		if w := d.wear[i].Load(); w > m {
 			m = w
 		}
 	}
@@ -358,7 +452,15 @@ func (d *Device) MaxWear() uint32 {
 // UnpersistedLines reports how many modified cache lines are not yet
 // durable; useful in tests asserting persistence discipline.
 func (d *Device) UnpersistedLines() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.lines)
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		if !s.active.Load() {
+			continue
+		}
+		s.mu.Lock()
+		n += len(s.lines)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -3,6 +3,7 @@ package splitfs
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/ext4dax"
 	"splitfs/internal/sim"
@@ -19,9 +20,9 @@ type File struct {
 	flag int
 	path string
 
-	mu     sync.Mutex
+	mu     sync.Mutex // handle offset
 	pos    int64
-	closed bool
+	closed atomic.Bool
 }
 
 var _ vfs.File = (*File)(nil)
@@ -29,17 +30,26 @@ var _ vfs.File = (*File)(nil)
 // OpenFile implements vfs.FileSystem: the open passes through to K-Split,
 // then U-Split stats the file and caches its attributes (§3.5).
 func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
+	defer fs.lockStrict()()
 	kf, err := fs.kfs.OpenFile(path, flag, perm)
 	if err != nil {
 		return nil, err
 	}
 	fs.clk.Charge(sim.CatCPU, sim.USplitOpenNs)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	clean := vfs.CleanPath(path)
 	// Attribute cache (§3.5): a file opened before (and not unlinked)
 	// skips the stat; first-time opens pay it. This is why reopening a
 	// recently closed file is cheaper in Table 6.
-	info, cached := fs.attrs[vfs.CleanPath(path)]
+	fs.amu.Lock()
+	info, cached := fs.attrs[clean]
+	fs.amu.Unlock()
+	// The handle knows its true inode for free; a cached attribute whose
+	// ino disagrees is stale (the path was unlinked and recreated) and
+	// must not be trusted — registering the new file under the old inode
+	// number would corrupt the open-file table.
+	if cached && info.Ino != kf.(*ext4dax.File).Ino() {
+		cached = false
+	}
 	if !cached || flag&vfs.O_TRUNC != 0 {
 		info, err = kf.Stat()
 		if err != nil {
@@ -47,16 +57,29 @@ func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
 			return nil, err
 		}
 	}
+	fs.mu.Lock()
 	of, ok := fs.files[info.Ino]
 	if !ok {
 		of = &ofile{
 			ino:   info.Ino,
-			path:  vfs.CleanPath(path),
+			path:  clean,
 			kf:    kf.(*ext4dax.File),
 			size:  info.Size,
 			ksize: info.Size,
 		}
-		fs.files[info.Ino] = of
+		// Register the description only while its inode is still linked:
+		// an open racing an unlink of the same path keeps a working
+		// (tmpfile-style) handle, but must not occupy the table slot of
+		// an inode number that may be recycled. Unlink retires the entry
+		// after the kernel unlink, so whichever side runs second cleans
+		// up: a pre-unlink insert is retired, a post-unlink open sees
+		// Linked() == false here and caches nothing.
+		if of.kf.Linked() {
+			fs.files[info.Ino] = of
+			fs.amu.Lock()
+			fs.attrs[clean] = info
+			fs.amu.Unlock()
+		}
 		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
 			// The kernel truncated on open: stale mappings over freed
 			// blocks must go.
@@ -76,25 +99,33 @@ func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
 		// LD_PRELOAD library which still performs the open syscall).
 		kf.Close()
 		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
+			of.mu.Lock()
 			of.staged = nil
 			of.active = nil
 			of.size, of.ksize = 0, 0
+			of.mu.Unlock()
 			fs.mmaps.drop(of.ino)
 			// Dropped staged writes must not be resurrected by replay.
 			if fs.olog != nil {
 				of.kf.SetUserWatermark(fs.opSeq)
 			}
 		}
+		// A live table entry implies the inode was linked an instant ago;
+		// a concurrent unlink's sweep (which runs after the kernel
+		// unlink) will delete this attribute again if it races us.
+		fs.amu.Lock()
+		fs.attrs[clean] = info
+		fs.amu.Unlock()
 	}
 	of.refs++
-	fs.attrs[of.path] = info
+	fs.mu.Unlock()
 	if fs.olog != nil {
-		fs.olog.append(encMetaEntry('o', of.ino))
+		fs.appendLog(nil, encMetaEntry('o', of.ino))
 	}
 	if err := fs.syncMeta(); err != nil {
 		return nil, err
 	}
-	return &File{fs: fs, of: of, flag: flag, path: of.path}, nil
+	return &File{fs: fs, of: of, flag: flag, path: clean}, nil
 }
 
 // Path implements vfs.File.
@@ -109,17 +140,20 @@ func (f *File) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write writes at the handle offset (EOF with O_APPEND).
+// Write writes at the handle offset (EOF with O_APPEND). The EOF offset
+// is resolved under the ofile lock, so concurrent appenders through
+// distinct handles interleave whole writes.
 func (f *File) Write(p []byte) (int, error) {
+	defer f.fs.lockStrict()()
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.fs.mu.Lock()
+	f.of.mu.Lock()
+	defer f.of.mu.Unlock()
 	off := f.pos
 	if f.flag&vfs.O_APPEND != 0 {
 		off = f.of.size
 	}
-	f.fs.mu.Unlock()
-	n, err := f.WriteAt(p, off)
+	n, err := f.writeLocked(p, off)
 	f.pos = off + int64(n)
 	return n, err
 }
@@ -134,9 +168,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case vfs.SeekCur:
 		base = f.pos
 	case vfs.SeekEnd:
-		f.fs.mu.Lock()
+		f.of.mu.RLock()
 		base = f.of.size
-		f.fs.mu.Unlock()
+		f.of.mu.RUnlock()
 	default:
 		return 0, vfs.ErrInval
 	}
@@ -149,12 +183,13 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 
 // ReadAt serves the read entirely in user space: the collection of mmaps
 // provides the base content; staged ranges (appends, strict overwrites)
-// are patched in from the staging files' mappings (§3.4).
+// are patched in from the staging files' mappings (§3.4). It holds only
+// this file's read lock — no process-wide lock in any mode — so
+// concurrent reads (of any files) and writes to other files all proceed
+// in parallel.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return 0, vfs.ErrClosed
 	}
 	if !vfs.Readable(f.flag) {
@@ -164,8 +199,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		return 0, vfs.ErrInval
 	}
 	fs.bookkeep()
-	fs.stats.UserReads++
+	fs.stats.userReads.Add(1)
 	of := f.of
+	of.mu.RLock()
+	defer of.mu.RUnlock()
 	if off >= of.size {
 		return 0, io.EOF
 	}
@@ -245,11 +282,20 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 //     mmap collection (fenced in sync mode);
 //   - overwrite, strict: staged + logged, relinked on fsync;
 //   - append (any mode): staged; logged in strict; atomic on fsync.
+//
+// Only this file's lock is held (plus, in strict mode, the op-log writer
+// lock); writes to different files proceed in parallel.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	defer f.fs.lockStrict()()
+	f.of.mu.Lock()
+	defer f.of.mu.Unlock()
+	return f.writeLocked(p, off)
+}
+
+// writeLocked is WriteAt under f.of.mu (and wmu in strict mode).
+func (f *File) writeLocked(p []byte, off int64) (int, error) {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return 0, vfs.ErrClosed
 	}
 	if !vfs.Writable(f.flag) {
@@ -294,7 +340,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		return fs.stageWrite(of, p, off)
 	default:
 		// In-place overwrite through the mmap collection.
-		fs.stats.UserWrites++
+		fs.stats.userWrites.Add(1)
 		n := 0
 		for n < len(p) {
 			cur := off + int64(n)
@@ -328,9 +374,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 
 // stageWrite redirects a write to a staging file: non-temporal stores
 // through the staging mapping, one op-log entry + one fence in strict
-// mode. Caller holds fs.mu.
+// mode. Caller holds of.mu (and wmu in strict mode).
 func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
-	fs.stats.Appends++
+	fs.stats.appends.Add(1)
 	need := int64(len(p))
 	if fs.cfg.StageInDRAM {
 		// §4 ablation: buffer in DRAM at memcpy speed; every byte must
@@ -377,7 +423,7 @@ func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 	case Strict:
 		// Entry write + single fence covers the data too (§3.3).
 		fs.opSeq++
-		fs.olog.append(encWriteEntry(uint32(of.ino), off, uint32(need),
+		fs.appendLog(of, encWriteEntry(uint32(of.ino), off, uint32(need),
 			uint32(c.sf.kf.Ino()), sfOff, fs.opSeq))
 	case Sync:
 		fs.dev.Fence()
@@ -386,7 +432,7 @@ func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 }
 
 // continuesActive reports whether a write at off would extend the active
-// chunk's most recent staged range contiguously. Caller holds fs.mu.
+// chunk's most recent staged range contiguously. Caller holds of.mu.
 func (fs *FS) continuesActive(of *ofile, off int64) bool {
 	if len(of.staged) == 0 {
 		return false
@@ -400,9 +446,8 @@ func (fs *FS) continuesActive(of *ofile, off int64) bool {
 // Truncate flushes staged state and passes through to K-Split.
 func (f *File) Truncate(size int64) error {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	defer fs.lockStrict()()
+	if f.closed.Load() {
 		return vfs.ErrClosed
 	}
 	if !vfs.Writable(f.flag) {
@@ -410,6 +455,8 @@ func (f *File) Truncate(size int64) error {
 	}
 	fs.bookkeep()
 	of := f.of
+	of.mu.Lock()
+	defer of.mu.Unlock()
 	if len(of.staged) > 0 {
 		if err := fs.relinkLocked(of); err != nil {
 			return err
@@ -422,22 +469,20 @@ func (f *File) Truncate(size int64) error {
 	// over them are stale and must be torn down.
 	fs.mmaps.drop(of.ino)
 	of.size, of.ksize = size, size
-	if info, ok := fs.attrs[of.path]; ok {
-		info.Size = size
-		fs.attrs[of.path] = info
-	}
+	fs.setAttrSize(of, size)
 	return fs.syncMeta()
 }
 
 // Sync is fsync(2): relink staged data into the target file (§3.4).
 func (f *File) Sync() error {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	defer fs.lockStrict()()
+	if f.closed.Load() {
 		return vfs.ErrClosed
 	}
 	fs.bookkeep()
+	f.of.mu.Lock()
+	defer f.of.mu.Unlock()
 	return fs.relinkLocked(f.of)
 }
 
@@ -446,41 +491,69 @@ func (f *File) Sync() error {
 // close()"). Cached attributes are retained (§3.5).
 func (f *File) Close() error {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	defer fs.lockStrict()()
+	if !f.closed.CompareAndSwap(false, true) {
 		return vfs.ErrClosed
 	}
-	f.closed = true
 	fs.clk.Charge(sim.CatCPU, sim.USplitCloseNs)
 	of := f.of
+	fs.mu.Lock()
 	of.refs--
+	last := of.refs == 0
+	fs.mu.Unlock()
 	if fs.olog != nil {
-		fs.olog.append(encMetaEntry('c', of.ino))
+		fs.appendLog(nil, encMetaEntry('c', of.ino))
 	}
-	if of.refs > 0 {
+	if !last {
 		return nil
 	}
+	// Last close: relink under only the file's own lock — the table stays
+	// pointing at this description, so a re-open racing the relink shares
+	// the staged overlay and observes consistent sizes throughout. The
+	// table lock is held only for O(1) bookkeeping, never across I/O.
+	of.mu.Lock()
+	var err error
 	if len(of.staged) > 0 {
-		if err := fs.relinkLocked(of); err != nil {
-			return err
+		err = fs.relinkLocked(of)
+	}
+	of.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Retire the description only if nothing re-opened it meanwhile. The
+	// kfClosed once-flag picks a unique finisher when two "last" closers
+	// race via re-open, and covers the unlink path where the table entry
+	// was already replaced.
+	fs.mu.Lock()
+	closeKF := of.refs == 0 && !of.kfClosed
+	if closeKF {
+		of.kfClosed = true
+		if cur, ok := fs.files[of.ino]; ok && cur == of {
+			delete(fs.files, of.ino)
 		}
 	}
-	delete(fs.files, of.ino)
+	fs.mu.Unlock()
+	if !closeKF {
+		return nil // a concurrent re-open adopted the description
+	}
 	return of.kf.Close()
 }
 
 // Stat implements vfs.File from the cached attributes plus staged size.
 func (f *File) Stat() (vfs.FileInfo, error) {
 	fs := f.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if f.closed {
+	if f.closed.Load() {
 		return vfs.FileInfo{}, vfs.ErrClosed
 	}
 	fs.bookkeep()
-	info := fs.attrs[f.of.path]
+	f.of.mu.RLock()
+	path := f.of.path
+	size := f.of.size
+	f.of.mu.RUnlock()
+	fs.amu.Lock()
+	info := fs.attrs[path]
+	fs.amu.Unlock()
 	info.Ino = f.of.ino
-	info.Size = f.of.size
+	info.Size = size
 	return info, nil
 }

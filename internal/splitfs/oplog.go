@@ -139,18 +139,22 @@ func encMetaEntry(kind byte, ino uint64) []byte {
 	return b
 }
 
-// append writes one entry: CAS tail bump + non-temporal entry store +
-// single fence. Checkpoints the log when full.
-func (o *oplog) append(entry []byte) {
-	o.fs.clk.Charge(sim.CatCPU, sim.CASNs)
-	o.fs.stats.LogEntries++
-	if err := o.log.Append(entry, metalog.SingleFence); err == nil {
+// appendLog writes one entry to the strict-mode operation log: CAS tail
+// bump + non-temporal entry store + single fence. Checkpoints the log
+// when full. Caller holds wmu (which serializes the log tail, standing in
+// for the paper's CAS loop); owner is the ofile whose mu the caller
+// already holds, or nil — the checkpoint needs every file's lock and must
+// not re-lock that one.
+func (fs *FS) appendLog(owner *ofile, entry []byte) {
+	fs.clk.Charge(sim.CatCPU, sim.CASNs)
+	fs.stats.logEntries.Add(1)
+	if err := fs.olog.log.Append(entry, metalog.SingleFence); err == nil {
 		return
 	}
 	// Log full (§3.3): relink all files with staged data, zero the log,
 	// and retry.
-	o.fs.checkpointLocked()
-	if err := o.log.Append(entry, metalog.SingleFence); err != nil {
+	fs.checkpoint(owner)
+	if err := fs.olog.log.Append(entry, metalog.SingleFence); err != nil {
 		panic(fmt.Sprintf("splitfs: op log smaller than one entry: %v", err))
 	}
 }

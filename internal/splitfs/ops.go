@@ -21,25 +21,38 @@ func (fs *FS) Mkdir(path string, perm uint32) error {
 // reason unlink is U-Split's most expensive call (Table 6: 14.60 µs
 // strict vs 8.60 µs on ext4 DAX).
 func (fs *FS) Unlink(path string) error {
+	defer fs.lockStrict()()
 	fs.bookkeep()
 	clean := vfs.CleanPath(path)
 	info, statErr := fs.kfs.Stat(clean)
-	fs.mu.Lock()
-	if statErr == nil {
-		if of, ok := fs.files[info.Ino]; ok {
-			// Unlinked while open: staged data is dropped with the file.
-			of.staged = nil
-			of.active = nil
-		}
-		fs.mmaps.drop(info.Ino)
-	}
-	delete(fs.attrs, clean)
 	if fs.olog != nil && statErr == nil {
-		fs.olog.append(encMetaEntry('u', info.Ino))
+		fs.appendLog(nil, encMetaEntry('u', info.Ino))
 	}
-	fs.mu.Unlock()
 	if err := fs.kfs.Unlink(clean); err != nil {
 		return err
+	}
+	// All cache teardown happens after the kernel unlink, and the attrs
+	// delete comes after retireIno's fs.mu acquisition. Ordering is what
+	// makes a racing OpenFile harmless: its Linked() check and its
+	// files/attrs inserts share one fs.mu critical section, so the insert
+	// either precedes retireIno (and is swept by it and by the attrs
+	// delete below) or follows it — in which case the open observed the
+	// dead inode, Linked() failed, and nothing was cached. Mappings get
+	// the same treatment from mmapCache.get's insert-time Linked() check.
+	// So no stale description, attribute, or mapping can survive to serve
+	// a recycled inode number.
+	if statErr == nil {
+		// Unlinked while open: the description leaves the table but keeps
+		// its staged overlay — the orphan inode stays readable and
+		// writable through open handles (POSIX), and the close-time
+		// relink into it is harmless because its blocks free with it.
+		fs.retireIno(info.Ino)
+	}
+	fs.amu.Lock()
+	delete(fs.attrs, clean)
+	fs.amu.Unlock()
+	if statErr == nil {
+		fs.mmaps.drop(info.Ino)
 	}
 	return fs.syncMeta()
 }
@@ -53,45 +66,95 @@ func (fs *FS) Rmdir(path string) error {
 	return fs.syncMeta()
 }
 
+// retireIno removes the open-file table entry for an inode whose on-disk
+// inode is being freed (unlink, rename-over-target). Open handles keep
+// working through their ofile pointer; the table must stop resolving the
+// ino so that a recycled inode number gets a fresh description instead of
+// the stale one (whose kernel handle points at the freed inode). Returns
+// the retired ofile, if any.
+func (fs *FS) retireIno(ino uint64) *ofile {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of := fs.files[ino]
+	if of != nil {
+		delete(fs.files, ino)
+	}
+	return of
+}
+
 // Rename implements vfs.FileSystem. Rename is one of the uncommon
 // operations needing multiple log entries in strict mode (§3.3).
 func (fs *FS) Rename(oldPath, newPath string) error {
+	defer fs.lockStrict()()
 	fs.bookkeep()
 	oldClean, newClean := vfs.CleanPath(oldPath), vfs.CleanPath(newPath)
-	fs.mu.Lock()
+	// One stat per endpoint; every later step reuses these.
+	oldInfo, oldErr := fs.kfs.Stat(oldClean)
+	newInfo, newErr := fs.kfs.Stat(newClean)
+	replacing := newErr == nil && (oldErr != nil || newInfo.Ino != oldInfo.Ino)
 	// Flush staged state of both endpoints so the kernel sees final
 	// contents.
-	for _, p := range []string{oldClean, newClean} {
-		if info, err := fs.kfs.Stat(p); err == nil {
-			if of, ok := fs.files[info.Ino]; ok && len(of.staged) > 0 {
-				if err := fs.relinkLocked(of); err != nil {
-					fs.mu.Unlock()
-					return err
-				}
-			}
+	flush := func(ino uint64) error {
+		fs.mu.RLock()
+		of := fs.files[ino]
+		fs.mu.RUnlock()
+		if of == nil {
+			return nil
+		}
+		of.mu.Lock()
+		defer of.mu.Unlock()
+		if len(of.staged) == 0 {
+			return nil
+		}
+		return fs.relinkLocked(of)
+	}
+	if oldErr == nil {
+		if err := flush(oldInfo.Ino); err != nil {
+			return err
 		}
 	}
-	if fs.olog != nil {
+	if replacing {
+		if err := flush(newInfo.Ino); err != nil {
+			return err
+		}
+	}
+	if fs.olog != nil && oldErr == nil {
 		// Two entries: drop-target + move (the multi-entry rename case).
-		if info, err := fs.kfs.Stat(oldClean); err == nil {
-			fs.olog.append(encMetaEntry('r', info.Ino))
-			fs.olog.append(encMetaEntry('R', info.Ino))
-		}
+		fs.appendLog(nil, encMetaEntry('r', oldInfo.Ino))
+		fs.appendLog(nil, encMetaEntry('R', oldInfo.Ino))
 	}
+	// Caches are updated only after the kernel rename succeeds; a failed
+	// rename must not leave attrs describing a path that does not exist.
+	if err := fs.kfs.Rename(oldClean, newClean); err != nil {
+		return err
+	}
+	fs.amu.Lock()
+	// The destination's old attributes are wrong either way: replaced by
+	// the source's if cached, gone if not.
+	delete(fs.attrs, newClean)
 	if info, ok := fs.attrs[oldClean]; ok {
 		fs.attrs[newClean] = info
 		delete(fs.attrs, oldClean)
 	}
+	fs.amu.Unlock()
 	// An open ofile keeps working through its kernel handle; update its
 	// path for diagnostics.
-	if info, err := fs.kfs.Stat(oldClean); err == nil {
-		if of, ok := fs.files[info.Ino]; ok {
+	if oldErr == nil {
+		fs.mu.RLock()
+		of := fs.files[oldInfo.Ino]
+		fs.mu.RUnlock()
+		if of != nil {
+			of.mu.Lock()
 			of.path = newClean
+			of.mu.Unlock()
 		}
 	}
-	fs.mu.Unlock()
-	if err := fs.kfs.Rename(oldClean, newClean); err != nil {
-		return err
+	// The replaced destination's inode is freed by the rename: retire its
+	// open-file entry and mappings so a recycled inode number cannot
+	// resolve to the stale description or stale mappings.
+	if replacing {
+		fs.retireIno(newInfo.Ino)
+		fs.mmaps.drop(newInfo.Ino)
 	}
 	return fs.syncMeta()
 }
@@ -101,22 +164,34 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 	fs.bookkeep()
 	clean := vfs.CleanPath(path)
-	fs.mu.Lock()
-	if info, ok := fs.attrs[clean]; ok {
-		if of, live := fs.files[info.Ino]; live {
+	fs.amu.Lock()
+	info, ok := fs.attrs[clean]
+	fs.amu.Unlock()
+	if ok {
+		fs.mu.RLock()
+		of := fs.files[info.Ino]
+		fs.mu.RUnlock()
+		if of != nil {
+			of.mu.RLock()
 			info.Size = of.size
+			of.mu.RUnlock()
 		}
-		fs.mu.Unlock()
 		return info, nil
 	}
-	fs.mu.Unlock()
+	// Cache fill happens entirely under amu so it cannot interleave with
+	// an Unlink's attribute delete (which runs after the kernel unlink,
+	// also under amu): a stat that precedes the unlink is swept by the
+	// delete, one that follows it fails and caches nothing.
+	fs.amu.Lock()
+	defer fs.amu.Unlock()
+	if info, ok := fs.attrs[clean]; ok {
+		return info, nil // filled by a racing stat
+	}
 	info, err := fs.kfs.Stat(clean)
 	if err != nil {
 		return info, err
 	}
-	fs.mu.Lock()
 	fs.attrs[clean] = info
-	fs.mu.Unlock()
 	return info, nil
 }
 
@@ -141,14 +216,9 @@ func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 
 // SyncAll relinks every open file's staged data (shutdown path).
 func (fs *FS) SyncAll() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	for _, of := range fs.files {
-		if len(of.staged) > 0 {
-			if err := fs.relinkLocked(of); err != nil {
-				return err
-			}
-		}
+	defer fs.lockStrict()()
+	if err := fs.relinkAll(nil); err != nil {
+		return err
 	}
 	fs.dev.Fence()
 	return nil

@@ -19,8 +19,8 @@ import (
 // system, staging pool, and operation log are shared objects on PM, just
 // as they are between a forked parent and child.
 func (fs *FS) Fork() *FS {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	child := &FS{
 		kfs:     fs.kfs,
 		dev:     fs.dev,
@@ -28,19 +28,31 @@ func (fs *FS) Fork() *FS {
 		cfg:     fs.cfg,
 		mode:    fs.mode,
 		files:   make(map[uint64]*ofile, len(fs.files)),
-		attrs:   make(map[string]vfs.FileInfo, len(fs.attrs)),
+		attrs:   make(map[string]vfs.FileInfo),
 		staging: fs.staging,
 		mmaps:   fs.mmaps,
 		olog:    fs.olog,
 	}
 	for ino, of := range fs.files {
-		cp := *of
-		cp.staged = append([]stagedRange(nil), of.staged...)
-		child.files[ino] = &cp
+		of.mu.RLock()
+		cp := &ofile{
+			ino:    of.ino,
+			kf:     of.kf,
+			path:   of.path,
+			size:   of.size,
+			ksize:  of.ksize,
+			staged: append([]stagedRange(nil), of.staged...),
+			active: of.active,
+			refs:   of.refs,
+		}
+		of.mu.RUnlock()
+		child.files[ino] = cp
 	}
+	fs.amu.Lock()
 	for p, info := range fs.attrs {
 		child.attrs[p] = info
 	}
+	fs.amu.Unlock()
 	return child
 }
 
@@ -55,15 +67,12 @@ const execShmDir = "/.splitfs-shm"
 // Staged data is relinked first: the post-exec image maps nothing, so
 // staged overlays cannot be carried across the boundary.
 func (fs *FS) PrepareExec(pid int) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	for _, of := range fs.files {
-		if len(of.staged) > 0 {
-			if err := fs.relinkLocked(of); err != nil {
-				return err
-			}
-		}
+	defer fs.lockStrict()()
+	if err := fs.relinkAll(nil); err != nil {
+		return err
 	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var buf []byte
 	u64 := func(v uint64) { var t [8]byte; binary.LittleEndian.PutUint64(t[:], v); buf = append(buf, t[:]...) }
 	str := func(s string) {
@@ -74,10 +83,12 @@ func (fs *FS) PrepareExec(pid int) error {
 	}
 	u64(uint64(len(fs.files)))
 	for _, of := range fs.files {
+		of.mu.RLock()
 		u64(of.ino)
 		str(of.path)
 		u64(uint64(of.size))
 		u64(uint64(of.refs))
+		of.mu.RUnlock()
 	}
 	if err := fs.kfs.Mkdir(execShmDir, 0700); err != nil {
 		if _, statErr := fs.kfs.Stat(execShmDir); statErr != nil {
@@ -121,7 +132,9 @@ func (fs *FS) ResumeExec(pid int) error {
 			size: size, ksize: size, refs: refs,
 		}
 		info, _ := kf.Stat()
+		fs.amu.Lock()
 		fs.attrs[path] = info
+		fs.amu.Unlock()
 	}
 	return nil
 }

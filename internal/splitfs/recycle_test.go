@@ -1,0 +1,144 @@
+package splitfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"splitfs/internal/vfs"
+)
+
+// Regression tests for the tmpfile pattern (unlink while open) and inode
+// recycling: the open handle must keep working on the orphan inode, the
+// inode number must not be recycled until the last close, and after the
+// close a recycled number must get a fresh open-file description — the
+// stale-description bug silently lost writes to the new file.
+func TestUnlinkWhileOpenThenRecycle(t *testing.T) {
+	_, fs := newEnv(t, POSIX)
+	fa, err := fs.OpenFile("/a", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := []byte("doomed-but-readable")
+	if _, err := fa.Write(doomed); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Staged-but-not-fsynced data must also survive the unlink.
+	staged := []byte("+staged-tail")
+	if _, err := fa.Write(staged); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fa.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inoA := st.Ino
+	freeBefore := fs.KFS().FreeBlocks()
+	if err := fs.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	// POSIX tmpfile semantics: the orphan inode keeps its blocks until
+	// the last close, and the open handle still reads its data —
+	// including the staged overlay.
+	if got := fs.KFS().FreeBlocks(); got != freeBefore {
+		t.Fatalf("unlink freed an open file's blocks early: %d -> %d", freeBefore, got)
+	}
+	want := append(append([]byte(nil), doomed...), staged...)
+	buf := make([]byte, len(want))
+	if _, err := fa.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read of unlinked-open file: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("unlinked-open read = %q, want %q", buf, want)
+	}
+	if err := fa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.KFS().FreeBlocks(); got <= freeBefore {
+		t.Fatalf("last close did not free the orphan's blocks: %d vs %d", got, freeBefore)
+	}
+
+	// Churn creates until the allocator recycles inoA (newEnv caps
+	// MaxInodes at 1024), then prove the recycled number gets a fresh
+	// description whose writes reach the kernel.
+	var fb vfs.File
+	var pathB string
+	for i := 0; i < 1100 && fb == nil; i++ {
+		p := fmt.Sprintf("/recycle-%04d", i)
+		f, err := fs.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
+		if err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Ino == inoA {
+			fb, pathB = f, p
+			break
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fb == nil {
+		t.Fatal("inode number never recycled; test environment changed?")
+	}
+	want = []byte("WORLD")
+	if _, err := fb.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The kernel must see the new file's data — with the stale ofile bug,
+	// the relink landed in the dead inode and K-Split reported size 0.
+	kinfo, err := fs.KFS().Stat(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinfo.Size != int64(len(want)) {
+		t.Fatalf("K-Split sees size %d for %s, want %d (write lost in stale ofile)",
+			kinfo.Size, pathB, len(want))
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(fs, pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q after recycled-ino churn, want %q", got, want)
+	}
+}
+
+// TestCloseRelinksUnlinkedStagedData: staged writes made after an unlink
+// land in the orphan inode at close (harmlessly — the blocks free with
+// it) without corrupting anything, and the attribute cache must not be
+// resurrected for the dead path.
+func TestUnlinkedStagedDataDoesNotResurrectAttrs(t *testing.T) {
+	_, fs := newEnv(t, POSIX)
+	f, err := fs.OpenFile("/ghost", vfs.O_RDWR|vfs.O_CREATE, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink("/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("post-unlink write")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/ghost"); err == nil {
+		t.Fatal("Stat succeeded for an unlinked path (stale attrs resurrected)")
+	}
+}

@@ -9,8 +9,10 @@ import (
 // relinkLocked applies a file's staged ranges to the target file (§3.4):
 // block-aligned runs move by relink (no data copy); unaligned head/tail
 // bytes are copied through the kernel, as the paper prescribes for
-// partial blocks. Every step joins one K-Split journal transaction, so
-// the whole fsync batch is atomic. Caller holds fs.mu.
+// partial blocks. Every step joins one K-Split journal transaction, and
+// fs.rmu is held across the batch so the whole fsync commits atomically
+// even with concurrent relinks of other files. Caller holds of.mu (and
+// wmu in strict mode).
 //
 // Recovery safety needs no markers: each strict-mode log entry names its
 // staging range, and relink punches exactly the block-aligned ranges it
@@ -31,13 +33,30 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	// with the file, so subsequent appends keep packing into it. Without
 	// this, WAL-style workloads (small append + fsync per operation)
 	// would burn one chunk per fsync.
-	fs.stats.Relinks++
+	fs.stats.relinks.Add(1)
+
+	fs.rmu.Lock()
+	defer fs.rmu.Unlock()
 
 	if fs.cfg.DisableRelink {
 		// Fig 3 ablation: staging without relink — copy everything
 		// through the kernel on fsync.
 		return fs.copyStaged(of, staged)
 	}
+
+	// Hold a K-Split batch handle across the steps: while it is open, no
+	// other journal user (a concurrent syncMeta, staging-file creation,
+	// or the size-threshold commit) can commit the shared running
+	// transaction with this relink half applied.
+	fs.kfs.BeginBatch()
+	batchOpen := true
+	endBatch := func() {
+		if batchOpen {
+			batchOpen = false
+			fs.kfs.EndBatch()
+		}
+	}
+	defer endBatch()
 
 	for i, s := range staged {
 		a, b := s.fileOff, s.fileOff+s.length
@@ -74,7 +93,7 @@ func (fs *FS) relinkLocked(of *ofile) error {
 			if err != nil {
 				return fmt.Errorf("relinkstep a=%d b=%d head=%d tail=%d sfOff=%d: %w", a, b, head, tail, s.sfOff, err)
 			}
-			fs.stats.RelinkBlocks += (tail - head) / sim.BlockSize
+			fs.stats.relinkBlocks.Add((tail - head) / sim.BlockSize)
 		}
 		if b > tail && tail >= head {
 			if err := fs.copyRange(of, s, tail, b); err != nil {
@@ -91,7 +110,9 @@ func (fs *FS) relinkLocked(of *ofile) error {
 		of.kf.SetUserWatermark(fs.opSeq)
 	}
 	// One commit makes the whole batch atomic (the relink ioctl's
-	// journal transaction).
+	// journal transaction). The handle closes first: a complete batch is
+	// safe for anyone to commit.
+	endBatch()
 	if err := fs.kfs.CommitMeta(); err != nil {
 		return err
 	}
@@ -104,14 +125,29 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	if of.size > of.ksize {
 		of.ksize = of.size
 	}
-	info := fs.attrs[of.path]
-	info.Size = of.size
-	fs.attrs[of.path] = info
+	fs.setAttrSize(of, of.size)
 	return nil
 }
 
+// setAttrSize updates the attribute cache's size for a file's path —
+// unless the file was unlinked (its path no longer names it; re-caching
+// would resurrect attributes for a dead or reused name). The liveness
+// check happens inside amu: Unlink deletes the attribute after the
+// kernel unlink, also under amu, so this insert either precedes that
+// delete (and is swept by it) or observes the dead inode and bails.
+func (fs *FS) setAttrSize(of *ofile, size int64) {
+	fs.amu.Lock()
+	defer fs.amu.Unlock()
+	if !of.kf.Linked() {
+		return
+	}
+	info := fs.attrs[of.path]
+	info.Size = size
+	fs.attrs[of.path] = info
+}
+
 // copyRange copies staged bytes [a, b) through the kernel write path (the
-// partial-block copy of §3.3). Caller holds fs.mu.
+// partial-block copy of §3.3). Caller holds of.mu and fs.rmu.
 func (fs *FS) copyRange(of *ofile, s stagedRange, a, b int64) error {
 	buf := make([]byte, b-a)
 	if s.dram != nil {
@@ -123,7 +159,7 @@ func (fs *FS) copyRange(of *ofile, s stagedRange, a, b int64) error {
 	if _, err := of.kf.WriteAt(buf, a); err != nil {
 		return err
 	}
-	fs.stats.CopiedBytes += b - a
+	fs.stats.copiedBytes.Add(b - a)
 	return nil
 }
 
@@ -144,25 +180,52 @@ func (fs *FS) copyStaged(of *ofile, staged []stagedRange) error {
 	if of.size > of.ksize {
 		of.ksize = of.size
 	}
-	info := fs.attrs[of.path]
-	info.Size = of.size
-	fs.attrs[of.path] = info
+	fs.setAttrSize(of, of.size)
 	return nil
 }
 
-// checkpointLocked relinks every file with staged data, then zeroes the
+// relinkAll relinks every open file that has staged data (checkpoint,
+// shutdown, and pre-exec paths). owner, when non-nil, is an ofile whose
+// mu the caller already holds; it is relinked without re-locking. Safe
+// to sweep multiple ofiles because every caller either holds wmu
+// (strict mode) or runs on a shutdown-style path where writers are
+// quiescent; per-file readers are unaffected.
+func (fs *FS) relinkAll(owner *ofile) error {
+	fs.mu.RLock()
+	all := make([]*ofile, 0, len(fs.files))
+	for _, of := range fs.files {
+		all = append(all, of)
+	}
+	fs.mu.RUnlock()
+	for _, of := range all {
+		if of != owner {
+			of.mu.Lock()
+		}
+		var err error
+		if len(of.staged) > 0 {
+			err = fs.relinkLocked(of)
+		}
+		if of != owner {
+			of.mu.Unlock()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint relinks every file with staged data, then zeroes the
 // operation log for reuse (§3.3: "If it becomes full, we checkpoint the
 // state of the application by calling relink() on all the open files
 // that have data in staging files. We then zero out the log and reuse
-// it."). Caller holds fs.mu.
-func (fs *FS) checkpointLocked() {
-	for _, of := range fs.files {
-		if len(of.staged) > 0 {
-			if err := fs.relinkLocked(of); err != nil {
-				panic("splitfs: checkpoint relink failed: " + err.Error())
-			}
-		}
+// it."). Caller holds wmu (checkpoints only happen in strict mode) and,
+// when the log filled during a staged write, that file's of.mu — passed
+// as owner so it is not re-locked.
+func (fs *FS) checkpoint(owner *ofile) {
+	if err := fs.relinkAll(owner); err != nil {
+		panic("splitfs: checkpoint relink failed: " + err.Error())
 	}
 	fs.olog.reset()
-	fs.stats.Checkpoints++
+	fs.stats.checkpoints.Add(1)
 }

@@ -28,6 +28,7 @@ package splitfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/ext4dax"
 	"splitfs/internal/pmem"
@@ -128,7 +129,38 @@ type Stats struct {
 	MmapMisses   int64
 }
 
+// fsStats are the live counters behind Stats, atomics so the lock-free
+// data path can count without any process-wide lock.
+type fsStats struct {
+	userReads    atomic.Int64
+	userWrites   atomic.Int64
+	appends      atomic.Int64
+	relinks      atomic.Int64
+	relinkBlocks atomic.Int64
+	copiedBytes  atomic.Int64
+	logEntries   atomic.Int64
+	checkpoints  atomic.Int64
+	mmapHits     atomic.Int64
+	mmapMisses   atomic.Int64
+}
+
 // FS is a U-Split instance.
+//
+// Lock hierarchy, outermost first (full discussion in DESIGN.md):
+//
+//		wmu → mu → ofile.mu → rmu → {amu, stagingPool.mu, mmapCache.mu}
+//		    → ext4dax locks → pmem shard locks
+//
+//	  - wmu serializes strict-mode mutating operations: the shared
+//	    operation log orders entries by a monotone sequence that the relink
+//	    watermark is compared against, so log appends and the staged-state
+//	    changes they describe must be mutually ordered.
+//	  - mu guards only the open-file table (files map and refcounts).
+//	  - ofile.mu (read/write) guards one file's staged overlay and sizes;
+//	    reads and staged appends to different files never share a lock.
+//	  - rmu serializes relink batches so each fsync's RelinkStep sequence
+//	    commits as one journal transaction.
+//	  - amu guards the attribute cache.
 type FS struct {
 	kfs  *ext4dax.FS
 	dev  *pmem.Device
@@ -136,30 +168,43 @@ type FS struct {
 	cfg  Config
 	mode Mode
 
-	mu      sync.Mutex
-	files   map[uint64]*ofile // live open files by inode
-	attrs   map[string]vfs.FileInfo
+	wmu sync.Mutex // strict-mode writer serialization (op-log order)
+
+	mu    sync.RWMutex      // open-file table
+	files map[uint64]*ofile // live open files by inode
+
+	amu   sync.Mutex // attribute cache
+	attrs map[string]vfs.FileInfo
+
+	rmu sync.Mutex // relink batch atomicity (one fsync = one journal tx)
+
 	staging *stagingPool
 	mmaps   *mmapCache
 	olog    *oplog // nil unless Strict
-	opSeq   uint64 // monotone operation sequence for log entries
-	stats   Stats
+	opSeq   uint64 // monotone operation sequence; guarded by wmu
+	stats   fsStats
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
 
 // ofile is the shared open-file description U-Split keeps per inode
 // (§3.5: one offset per open file, dup'd descriptors share it).
+//
+// mu guards size, ksize, staged, active, and path; refs is guarded by
+// FS.mu (it belongs to the open-file table).
 type ofile struct {
-	ino  uint64
-	path string
-	kf   *ext4dax.File
+	ino uint64
+	kf  *ext4dax.File
 
+	mu     sync.RWMutex
+	path   string
 	size   int64 // U-Split's view, including staged appends
 	ksize  int64 // K-Split's view (what has been relinked)
 	staged []stagedRange
 	active *stagingChunk // current append region
-	refs   int
+
+	refs     int  // open handles; guarded by FS.mu
+	kfClosed bool // kernel handle retired (unique last closer); FS.mu
 }
 
 // stagedRange maps a file range onto a staging file — or onto a DRAM
@@ -216,20 +261,33 @@ func (fs *FS) KFS() *ext4dax.FS { return fs.kfs }
 
 // Stats snapshots the U-Split counters.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.stats
+	return Stats{
+		UserReads:    fs.stats.userReads.Load(),
+		UserWrites:   fs.stats.userWrites.Load(),
+		Appends:      fs.stats.appends.Load(),
+		Relinks:      fs.stats.relinks.Load(),
+		RelinkBlocks: fs.stats.relinkBlocks.Load(),
+		CopiedBytes:  fs.stats.copiedBytes.Load(),
+		LogEntries:   fs.stats.logEntries.Load(),
+		Checkpoints:  fs.stats.checkpoints.Load(),
+		MmapHits:     fs.stats.mmapHits.Load(),
+		MmapMisses:   fs.stats.mmapMisses.Load(),
+	}
 }
 
 // MemoryUsage estimates U-Split's DRAM footprint in bytes (§5.10).
 func (fs *FS) MemoryUsage() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
 	var b int64
 	for _, of := range fs.files {
+		of.mu.RLock()
 		b += 200 + int64(len(of.path)) + int64(len(of.staged))*48
+		of.mu.RUnlock()
 	}
+	fs.mu.RUnlock()
+	fs.amu.Lock()
 	b += int64(len(fs.attrs)) * 96
+	fs.amu.Unlock()
 	b += fs.mmaps.memoryUsage()
 	b += fs.staging.memoryUsage()
 	if fs.olog != nil {
@@ -240,6 +298,17 @@ func (fs *FS) MemoryUsage() int64 {
 
 func (fs *FS) bookkeep() {
 	fs.clk.Charge(sim.CatCPU, sim.USplitBookkeepNs)
+}
+
+// lockStrict takes the strict-mode writer lock; in POSIX and sync modes
+// mutating operations on different files run fully in parallel and this
+// is a no-op. Returns the unlock function.
+func (fs *FS) lockStrict() func() {
+	if fs.mode != Strict {
+		return func() {}
+	}
+	fs.wmu.Lock()
+	return fs.wmu.Unlock
 }
 
 // syncMeta makes a metadata mutation durable in sync and strict modes
@@ -254,7 +323,7 @@ func (fs *FS) syncMeta() error {
 }
 
 // lookupStaged returns the staged ranges overlapping [off, off+n),
-// oldest first. Caller holds fs.mu.
+// oldest first. Caller holds of.mu.
 func (of *ofile) overlaps(off, n int64) []stagedRange {
 	var out []stagedRange
 	end := off + n
@@ -268,7 +337,7 @@ func (of *ofile) overlaps(off, n int64) []stagedRange {
 
 // addStaged records a staged write, merging with the previous range when
 // both file offsets and staging bytes are contiguous (consecutive appends
-// into one relink run).
+// into one relink run). Caller holds of.mu.
 func (of *ofile) addStaged(r stagedRange) {
 	if n := len(of.staged); n > 0 {
 		last := &of.staged[n-1]
