@@ -1,54 +1,192 @@
 // Command crashcheck runs crash-consistency campaigns against SplitFS:
-// random workloads crash at every operation boundary (with torn cache
-// lines), recover, and are checked against each mode's guarantee
-// (§3.2, Table 3; recovery per §5.3).
+// deterministic workloads are recorded once to number every persistence
+// event (each Store/StoreNT/Flush/Fence on the PM device), then replayed
+// with a crash materialized at each event — torn unfenced cache lines
+// included — recovered, and checked against the mode's guarantee
+// (§3.2 Table 3; recovery per §5.3; oracles in DESIGN.md).
+//
+// Campaigns fan out over a worker pool across modes × seeds × workload
+// families. Beyond the per-event sweep it supports metadata-heavy
+// workloads (create/unlink/rename/truncate/mkdir, orphan unlinks),
+// double-crash sweeps (crash again inside recovery itself), and
+// automatic minimization of any violating campaign to a small
+// reproducer.
 //
 // Usage:
 //
-//	crashcheck [-seeds N] [-ops N]
+//	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
+//	           [-sample N] [-metadata] [-double-crash] [-double-sample N]
+//	           [-minimize] [-workers N] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
 
 	"splitfs/internal/crash"
 	"splitfs/internal/splitfs"
 )
 
+type job struct {
+	name string
+	cfg  crash.ExploreConfig
+}
+
 func main() {
-	seeds := flag.Int("seeds", 5, "number of random workloads per mode")
+	seeds := flag.Int("seeds", 3, "random workloads per mode and family")
 	nops := flag.Int("ops", 25, "operations per workload")
+	modeFlag := flag.String("mode", "all", "consistency mode: all, posix, sync, strict")
+	sample := flag.Int("sample", 0, "max events tested per workload (0 = every persistence event)")
+	metadata := flag.Bool("metadata", false, "add metadata-heavy workloads (create/unlink/rename/truncate/mkdir)")
+	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
+	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
+	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel campaign workers")
+	verbose := flag.Bool("v", false, "per-campaign progress lines")
 	flag.Parse()
 
-	modes := []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict}
-	total, violations := 0, 0
+	var modes []splitfs.Mode
+	switch *modeFlag {
+	case "all":
+		modes = []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict}
+	case "posix":
+		modes = []splitfs.Mode{splitfs.POSIX}
+	case "sync":
+		modes = []splitfs.Mode{splitfs.Sync}
+	case "strict":
+		modes = []splitfs.Mode{splitfs.Strict}
+	default:
+		fmt.Fprintf(os.Stderr, "crashcheck: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	var jobs []job
 	for _, mode := range modes {
-		for seed := 1; seed <= *seeds; seed++ {
-			ops := crash.RandomOps(uint64(seed)*13, *nops)
-			for point := 1; point <= len(ops); point++ {
-				res, err := crash.Run(crash.Campaign{
-					Mode: mode, Ops: ops, CrashAfter: point,
-					Seed: uint64(seed)<<16 | uint64(point),
+		for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+			jobs = append(jobs, job{
+				name: fmt.Sprintf("%v/write/seed%d", mode, seed),
+				cfg: crash.ExploreConfig{Mode: mode, Ops: crash.RandomOps(seed*13, *nops),
+					Seed: seed, Sample: *sample,
+					DoubleCrash: *doubleCrash, DoubleSample: *doubleSample},
+			})
+			if *metadata {
+				jobs = append(jobs, job{
+					name: fmt.Sprintf("%v/meta/seed%d", mode, seed),
+					cfg: crash.ExploreConfig{Mode: mode, Ops: crash.MetadataOps(seed*29, *nops),
+						Seed: seed ^ 0xa5, Sample: *sample,
+						DoubleCrash: *doubleCrash, DoubleSample: *doubleSample},
 				})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "crashcheck: %v seed %d point %d: %v\n",
-						mode, seed, point, err)
-					os.Exit(1)
-				}
-				total++
-				if res.Violation != "" {
-					violations++
-					fmt.Printf("VIOLATION %v seed=%d point=%d: %s\n",
-						mode, seed, point, res.Violation)
-				}
 			}
 		}
-		fmt.Printf("mode %-6v: all crash points checked\n", mode)
 	}
-	fmt.Printf("crashcheck: %d crash points, %d violations\n", total, violations)
-	if violations > 0 {
+
+	var (
+		mu         sync.Mutex
+		totalEv    int64
+		tested     int
+		dblTested  int
+		runs       int
+		byKind     = map[string]int64{}
+		testedKind = map[string]int64{}
+		violations []crash.Violation
+		vioJob     *job
+		failed     bool
+	)
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				res, err := crash.Explore(j.cfg)
+				mu.Lock()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crashcheck: %s: %v\n", j.name, err)
+					failed = true
+					mu.Unlock()
+					continue
+				}
+				totalEv += res.TotalEvents
+				tested += res.Tested
+				dblTested += res.DoubleTested
+				runs += res.Runs
+				for k, n := range res.ByKind {
+					byKind[k] += n
+				}
+				for k, n := range res.TestedByKind {
+					testedKind[k] += n
+				}
+				for _, v := range res.Violations {
+					fmt.Printf("VIOLATION %s event=%d double=%d: %s\n",
+						j.name, v.Event, v.DoubleEvent, v.Msg)
+				}
+				if len(res.Violations) > 0 {
+					violations = append(violations, res.Violations...)
+					if vioJob == nil {
+						jc := j
+						vioJob = &jc
+					}
+				}
+				if *verbose {
+					fmt.Printf("%-22s events=%-5d tested=%-5d double=%-4d violations=%d\n",
+						j.name, res.TotalEvents, res.Tested, res.DoubleTested, len(res.Violations))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		jobCh <- i
+	}
+	close(jobCh)
+	wg.Wait()
+
+	fmt.Printf("crashcheck: %d campaigns, %d runs, %d/%d events crashed (+%d double-crash), %d violations\n",
+		len(jobs), runs, tested, totalEv, dblTested, len(violations))
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("event coverage by kind:")
+	for _, k := range kinds {
+		fmt.Printf(" %s=%d/%d", k, testedKind[k], byKind[k])
+	}
+	fmt.Println()
+
+	if len(violations) > 0 && *minimize && vioJob != nil {
+		fmt.Printf("minimizing %s (%d ops)...\n", vioJob.name, len(vioJob.cfg.Ops))
+		cfg := vioJob.cfg
+		if cfg.Sample == 0 || cfg.Sample > 32 {
+			cfg.Sample = 32
+		}
+		// The minimizer sweeps a smaller sample than the run that found
+		// the violation; pin the witness events so the initial re-sweep
+		// cannot miss them.
+		for _, v := range violations {
+			if v.Event > 0 && v.Mode == cfg.Mode && v.Seed == cfg.Seed {
+				cfg.Include = append(cfg.Include, v.Event)
+			}
+		}
+		min, err := crash.Minimize(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashcheck: minimize: %v\n", err)
+		} else {
+			fmt.Printf("minimal reproducer: %d ops (%d runs): %s\n",
+				len(min.Ops), min.Runs, min.Violation.Msg)
+			for i, op := range min.Ops {
+				fmt.Printf("  op %d: %v %s %s off=%d size=%d len=%d fsync=%v close=%v\n",
+					i+1, op.Kind, op.Path, op.Path2, op.Off, op.Size, len(op.Data), op.Fsync, op.Close)
+			}
+		}
+	}
+	if len(violations) > 0 || failed {
 		os.Exit(1)
 	}
 }

@@ -204,16 +204,19 @@ func (b *Bitmap) Free(e Extent) ByteRange {
 	return b.writeBack(e)
 }
 
-// writeBack stores the bitmap bytes covering e to the device (cached
-// stores; the FS journal decides when they are flushed). Volatile
-// bitmaps skip the device write. Caller holds b.mu.
+// writeBack stores the bitmap bytes covering e to the device with
+// write-ahead buffered stores: like jbd2 metadata buffers they are
+// visible to loads at once but reach the media only when the owning
+// journal transaction commits and checkpoints (flush+fence), and revert
+// wholly on crash. Volatile bitmaps skip the device write. Caller holds
+// b.mu.
 func (b *Bitmap) writeBack(e Extent) ByteRange {
 	if b.dev == nil {
 		return ByteRange{}
 	}
 	lo := e.Start / 8
 	hi := (e.End()-1)/8 + 1
-	b.dev.Store(b.base+lo, b.bits[lo:hi], sim.CatPMMeta)
+	b.dev.StoreBuffered(b.base+lo, b.bits[lo:hi], sim.CatPMMeta)
 	return ByteRange{Off: b.base + lo, Len: int(hi - lo)}
 }
 

@@ -1,17 +1,25 @@
-// Package crash is the crash-consistency test harness (§5.3): it runs a
-// workload against a file system, injects a crash at a chosen operation
-// boundary (with torn unfenced cache lines), recovers, and checks the
-// guarantee the file system advertises:
+// Package crash is the crash-consistency exploration engine (§5.3 of the
+// paper, grown into a persistence-event harness; see DESIGN.md): it runs
+// a workload against SplitFS, injects a crash — at an operation boundary
+// or at ANY numbered persistence event inside an operation, with torn
+// unfenced cache lines — recovers, and checks the guarantee the mode
+// advertises:
 //
-//   - POSIX: the file system mounts and is metadata-consistent; files
-//     that were fsynced hold exactly their synced contents; appends are
-//     atomic (a synced file is never left with a partial operation).
-//   - Sync: every completed operation is durable.
-//   - Strict: every completed operation is durable AND atomic.
+//   - POSIX: the file system mounts; the namespace equals the state after
+//     some syscall prefix no older than the last journal commit; fsynced
+//     content survives outside ranges rewritten since.
+//   - Sync: every completed syscall is durable.
+//   - Strict: every completed syscall is durable AND atomic — the durable
+//     state must exactly equal the model just before or just after the
+//     interrupted syscall.
+//
+// On top of single crashes the package offers full persistence-event
+// sweeps (Explore), double-crash campaigns that crash again inside
+// recovery itself, fault injection (skipping fences), and automatic
+// workload minimization of violating campaigns (Minimize).
 package crash
 
 import (
-	"bytes"
 	"fmt"
 
 	"splitfs/internal/ext4dax"
@@ -21,196 +29,276 @@ import (
 	"splitfs/internal/vfs"
 )
 
-// Op is one workload operation for the campaign.
-type Op struct {
-	Path  string
-	Off   int64 // -1 means append at current size
-	Data  []byte
-	Fsync bool
-}
-
 // Campaign configures a crash-injection run.
 type Campaign struct {
 	Mode splitfs.Mode
-	// Ops executed before the crash point.
+	// Ops is the workload.
 	Ops []Op
-	// CrashAfter is the index after which the crash is injected
-	// (len(Ops) crashes after everything).
+	// CrashAfter is the operation index after which the crash is injected
+	// (len(Ops) crashes after everything). Ignored when CrashAtEvent is
+	// set.
 	CrashAfter int
 	// Seed drives torn-line injection.
 	Seed uint64
+	// CrashAtEvent, when positive, crashes at that absolute persistence
+	// event instead of an operation boundary: the workload runs to
+	// completion against a device whose durable image froze — torn lines
+	// included — the moment event CrashAtEvent completed. Event numbers
+	// come from a recording run's SysEvents (see Explore).
+	CrashAtEvent int64
+	// DoubleCrashEvent, when positive, injects a second crash at that
+	// absolute persistence event during recovery from the first crash,
+	// then recovers again — verifying that recovery itself is
+	// crash-consistent and idempotent.
+	DoubleCrashEvent int64
+	// SkipFence is a fault-injection hook for harness self-tests: it
+	// receives each fence's 1-based sequence number (counted from the
+	// start of the workload) and suppresses the fence when it returns
+	// true. The hook is removed before recovery runs.
+	SkipFence func(seq int64) bool
+	// DevBytes sizes the PM device (default 32 MB).
+	DevBytes int64
+	// Trace records the full persistence-event trace of the run.
+	Trace bool
 }
 
 // Result reports what the checker verified.
 type Result struct {
-	Executed  int
-	Replayed  int
+	Executed  int    // completed workload operations
+	Replayed  int    // strict-mode log entries re-applied by recovery
 	Violation string // empty when the guarantee held
+
+	// SysEvents[i] is the device's persistence-event counter after the
+	// i-th syscall of the workload; SysEvents[0] is the post-setup
+	// baseline. Crashable events for this workload are
+	// (SysEvents[0], SysEvents[len-1]].
+	SysEvents []int64
+	// CrashSys / Interrupted locate the injected crash: CrashSys syscalls
+	// completed, and Interrupted means the crash hit inside the next one.
+	CrashSys    int
+	Interrupted bool
+	// RecoveryStart/End bound the persistence events of the (first)
+	// recovery — the window double-crash campaigns sweep.
+	RecoveryStart, RecoveryEnd int64
+	// DoubleFired reports whether the armed double-crash point was
+	// actually reached inside recovery.
+	DoubleFired bool
+	// Trace is the recorded event trace (Campaign.Trace).
+	Trace []pmem.Event
 }
 
-// model tracks expected file contents.
-type model struct {
-	now    map[string][]byte // content after every executed op
-	synced map[string][]byte // content at each file's last fsync
+// env is one campaign's private simulated machine.
+type env struct {
+	clk *sim.Clock
+	dev *pmem.Device
+	cfg splitfs.Config
+}
+
+const defaultDevBytes = 32 << 20
+
+func newEnv(mode splitfs.Mode, devBytes int64) (*env, *splitfs.FS, error) {
+	if devBytes == 0 {
+		devBytes = defaultDevBytes
+	}
+	clk := sim.NewClock()
+	dev := pmem.New(pmem.Config{Size: devBytes, Clock: clk, TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 512})
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := splitfs.Config{Mode: mode, StagingFiles: 4,
+		StagingFileBytes: 1 << 20, OpLogBytes: 256 << 10}
+	fs, err := splitfs.New(kfs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &env{clk: clk, dev: dev, cfg: cfg}, fs, nil
+}
+
+// runner executes compiled syscalls, tracking open handles the way
+// compile assumed. Handles dropped by unlink/rename without a close stay
+// open (orphan inodes) until the simulated process dies with the crash.
+type runner struct {
+	fs      *splitfs.FS
+	handles map[string]vfs.File
+	orphans []vfs.File
+}
+
+func (r *runner) apply(sc syscall) error {
+	switch sc.kind {
+	case sysOpen:
+		h, err := r.fs.OpenFile(sc.path, vfs.O_RDWR|vfs.O_CREATE, 0644)
+		if err != nil {
+			return err
+		}
+		r.handles[sc.path] = h
+		return nil
+	case sysWrite:
+		h := r.handles[sc.path]
+		off := sc.off
+		if off < 0 {
+			info, err := h.Stat()
+			if err != nil {
+				return err
+			}
+			off = info.Size
+		}
+		_, err := h.WriteAt(sc.data, off)
+		return err
+	case sysFsync:
+		return r.handles[sc.path].Sync()
+	case sysClose:
+		h := r.handles[sc.path]
+		delete(r.handles, sc.path)
+		return h.Close()
+	case sysUnlink:
+		if h, ok := r.handles[sc.path]; ok {
+			// Unlink-while-open: the handle stays usable (orphan inode);
+			// it is never closed, so the orphan lives until the crash.
+			r.orphans = append(r.orphans, h)
+			delete(r.handles, sc.path)
+		}
+		return r.fs.Unlink(sc.path)
+	case sysRename:
+		if h2, ok := r.handles[sc.path2]; ok {
+			r.orphans = append(r.orphans, h2) // replaced target becomes an orphan
+			delete(r.handles, sc.path2)
+		}
+		if err := r.fs.Rename(sc.path, sc.path2); err != nil {
+			return err
+		}
+		if h, ok := r.handles[sc.path]; ok {
+			r.handles[sc.path2] = h
+			delete(r.handles, sc.path)
+		}
+		return nil
+	case sysTruncate:
+		return r.handles[sc.path].Truncate(sc.size)
+	case sysMkdir:
+		return r.fs.Mkdir(sc.path, 0755)
+	default:
+		return fmt.Errorf("crash: unknown syscall %v", sc.kind)
+	}
 }
 
 // Run executes the campaign and verifies the mode's guarantee.
 func Run(c Campaign) (*Result, error) {
-	clk := sim.NewClock()
-	dev := pmem.New(pmem.Config{Size: 256 << 20, Clock: clk, TrackPersistence: true})
-	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 1024})
+	env, fs, err := newEnv(c.Mode, c.DevBytes)
 	if err != nil {
 		return nil, err
 	}
-	cfg := splitfs.Config{Mode: c.Mode, StagingFiles: 4,
-		StagingFileBytes: 4 << 20, OpLogBytes: 2 << 20}
-	fs, err := splitfs.New(kfs, cfg)
-	if err != nil {
-		return nil, err
+	sys := compile(c.Ops)
+	stopSys := len(sys)
+	if c.CrashAtEvent == 0 {
+		stop := c.CrashAfter
+		if stop > len(c.Ops) {
+			stop = len(c.Ops)
+		}
+		stopSys = sysPrefix(sys, stop)
 	}
-	m := &model{now: map[string][]byte{}, synced: map[string][]byte{}}
-	handles := map[string]vfs.File{}
+	m := buildModel(c.Mode, sys)
 	res := &Result{}
 
-	stop := c.CrashAfter
-	if stop > len(c.Ops) {
-		stop = len(c.Ops)
+	if c.Trace {
+		env.dev.SetTracing(true)
 	}
-	for i := 0; i < stop; i++ {
-		op := c.Ops[i]
-		h, ok := handles[op.Path]
-		if !ok {
-			h, err = fs.OpenFile(op.Path, vfs.O_RDWR|vfs.O_CREATE, 0644)
-			if err != nil {
-				return nil, err
-			}
-			handles[op.Path] = h
-		}
-		off := op.Off
-		if off < 0 {
-			off = int64(len(m.now[op.Path]))
-		}
-		if len(op.Data) > 0 {
-			if _, err := h.WriteAt(op.Data, off); err != nil {
-				return nil, err
-			}
-			end := off + int64(len(op.Data))
-			buf := m.now[op.Path]
-			for int64(len(buf)) < end {
-				buf = append(buf, 0)
-			}
-			copy(buf[off:end], op.Data)
-			m.now[op.Path] = buf
-		}
-		if op.Fsync {
-			if err := h.Sync(); err != nil {
-				return nil, err
-			}
-			m.synced[op.Path] = append([]byte(nil), m.now[op.Path]...)
-		}
-		res.Executed++
+	if c.SkipFence != nil {
+		env.dev.SetFenceFilter(c.SkipFence)
+	}
+	if c.CrashAtEvent > 0 {
+		env.dev.ArmCrash(c.CrashAtEvent, sim.NewRNG(mix(c.Seed, uint64(c.CrashAtEvent))))
 	}
 
-	// Crash with torn unfenced lines, then recover.
-	if err := dev.Crash(sim.NewRNG(c.Seed)); err != nil {
+	r := &runner{fs: fs, handles: map[string]vfs.File{}}
+	res.SysEvents = append(res.SysEvents, env.dev.Events())
+	for i := 0; i < stopSys; i++ {
+		if err := r.apply(sys[i]); err != nil {
+			return nil, fmt.Errorf("op %d (%v %s): %w", sys[i].opIdx, sys[i].kind, sys[i].path, err)
+		}
+		res.SysEvents = append(res.SysEvents, env.dev.Events())
+	}
+	if c.Trace {
+		res.Trace = env.dev.Trace()
+		env.dev.SetTracing(false)
+	}
+	env.dev.SetFenceFilter(nil)
+
+	// Locate the crash point in syscall terms.
+	crashSys, interrupted := stopSys, false
+	if c.CrashAtEvent > 0 && env.dev.CrashFired() {
+		crashSys = 0
+		for i, ev := range res.SysEvents {
+			if ev <= c.CrashAtEvent {
+				crashSys = i
+			}
+		}
+		interrupted = res.SysEvents[crashSys] != c.CrashAtEvent
+	}
+	res.CrashSys, res.Interrupted = crashSys, interrupted
+	for i := 0; i < crashSys; i++ {
+		if sys[i].last {
+			res.Executed++
+		}
+	}
+
+	// Crash with torn unfenced lines (ignored if the armed point already
+	// froze the image), then recover — possibly crashing again inside
+	// recovery itself.
+	if err := env.dev.Crash(sim.NewRNG(c.Seed)); err != nil {
 		return nil, err
 	}
-	kfs2, _, err := ext4dax.Mount(dev, ext4dax.Config{})
-	if err != nil {
-		res.Violation = fmt.Sprintf("remount failed: %v", err)
+	if c.DoubleCrashEvent > 0 {
+		env.dev.ArmCrash(c.DoubleCrashEvent, sim.NewRNG(mix(c.Seed, uint64(c.DoubleCrashEvent))^0xD0))
+	}
+	res.RecoveryStart = env.dev.Events()
+	fs2, report, vio := recover1(env)
+	res.RecoveryEnd = env.dev.Events()
+	if report != nil {
+		res.Replayed = report.Replayed
+	}
+	if vio != "" {
+		res.Violation = vio
 		return res, nil
 	}
-	fs2, report, err := splitfs.RecoverFS(kfs2, cfg)
-	if err != nil {
-		res.Violation = fmt.Sprintf("recovery failed: %v", err)
-		return res, nil
-	}
-	res.Replayed = report.Replayed
-
-	// Verify per-mode guarantees.
-	for path := range m.now {
-		got, err := vfs.ReadFile(fs2, path)
-		switch c.Mode {
-		case splitfs.Strict:
-			// Every completed op durable and atomic: exact match with the
-			// full model.
-			if err != nil {
-				res.Violation = fmt.Sprintf("strict: %s unreadable: %v", path, err)
-				return res, nil
-			}
-			if !bytes.Equal(got, m.now[path]) {
-				res.Violation = fmt.Sprintf("strict: %s diverged at %d (len got %d want %d)",
-					path, firstDiff(got, m.now[path]), len(got), len(m.now[path]))
-				return res, nil
-			}
-		case splitfs.Sync, splitfs.POSIX:
-			// Synced content must be present and un-torn. (Sync-mode data
-			// ops are durable but in-place overwrites after the last
-			// fsync may legitimately be present too, so only the synced
-			// prefix is checked byte-for-byte against either state.)
-			want, synced := m.synced[path]
-			if !synced {
-				continue
-			}
-			if err != nil {
-				res.Violation = fmt.Sprintf("%v: synced file %s unreadable: %v", c.Mode, path, err)
-				return res, nil
-			}
-			if int64(len(got)) < int64(len(want)) {
-				res.Violation = fmt.Sprintf("%v: synced file %s truncated: %d < %d",
-					c.Mode, path, len(got), len(want))
-				return res, nil
-			}
-			for i := range want {
-				if got[i] != want[i] && got[i] != m.now[path][i] {
-					res.Violation = fmt.Sprintf("%v: %s byte %d is neither synced nor latest",
-						c.Mode, path, i)
-					return res, nil
-				}
-			}
+	if c.DoubleCrashEvent > 0 {
+		res.DoubleFired = env.dev.CrashFired()
+		if err := env.dev.Crash(nil); err != nil {
+			return nil, err
+		}
+		fs2, _, vio = recover1(env)
+		if vio != "" {
+			res.Violation = "double-crash: " + vio
+			return res, nil
 		}
 	}
+
+	dur, err := captureDurable(fs2)
+	if err != nil {
+		res.Violation = fmt.Sprintf("%v: recovered image unreadable: %v", c.Mode, err)
+		return res, nil
+	}
+	res.Violation = checkGuarantee(m, crashSys, interrupted, dur)
 	return res, nil
 }
 
-func firstDiff(a, b []byte) int {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
+// recover1 performs one mount+recovery pass, mapping failures to
+// violations (a crash must never leave an unmountable file system).
+func recover1(env *env) (*splitfs.FS, *splitfs.RecoveryReport, string) {
+	kfs, _, err := ext4dax.Mount(env.dev, ext4dax.Config{})
+	if err != nil {
+		return nil, nil, fmt.Sprintf("remount failed: %v", err)
 	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return i
-		}
+	fs, report, err := splitfs.RecoverFS(kfs, env.cfg)
+	if err != nil {
+		return nil, nil, fmt.Sprintf("recovery failed: %v", err)
 	}
-	return n
+	return fs, report, ""
 }
 
-// RandomOps builds a deterministic workload of writes/appends/fsyncs for
-// campaign sweeps.
-func RandomOps(seed uint64, n int) []Op {
-	rng := sim.NewRNG(seed)
-	sizes := map[string]int64{}
-	paths := []string{"/c0", "/c1", "/c2"}
-	ops := make([]Op, 0, n)
-	for i := 0; i < n; i++ {
-		p := paths[rng.Intn(len(paths))]
-		data := make([]byte, rng.Intn(3000)+1)
-		for j := range data {
-			data[j] = byte(rng.Uint64())
-		}
-		off := int64(-1)
-		if sizes[p] > 0 && rng.Intn(3) == 0 {
-			off = rng.Int63n(sizes[p])
-		}
-		end := off + int64(len(data))
-		if off < 0 {
-			end = sizes[p] + int64(len(data))
-		}
-		if end > sizes[p] {
-			sizes[p] = end
-		}
-		ops = append(ops, Op{Path: p, Off: off, Data: data, Fsync: rng.Intn(4) == 0})
-	}
-	return ops
+// mix is a splitmix64-style hash for deriving independent seeds.
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }

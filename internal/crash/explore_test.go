@@ -1,0 +1,98 @@
+package crash
+
+import (
+	"testing"
+
+	"splitfs/internal/splitfs"
+)
+
+// The acceptance sweep: every persistence event of a strict-mode
+// workload is a crash point, and the guarantee must hold at all of them.
+func TestStrictSweepEveryEvent(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 8
+	}
+	res, err := Explore(ExploreConfig{Mode: splitfs.Strict, Ops: RandomOps(21, n), Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvents == 0 || res.Tested != int(res.TotalEvents) {
+		t.Fatalf("tested %d of %d events", res.Tested, res.TotalEvents)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("event %d: %s", v.Event, v.Msg)
+	}
+	if len(res.ByKind) < 3 {
+		t.Fatalf("coverage stats missing kinds: %v", res.ByKind)
+	}
+}
+
+// Sampled event sweeps for the POSIX and sync oracles on write-heavy
+// workloads.
+func TestPosixAndSyncEventSweep(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Sync} {
+		res, err := Explore(ExploreConfig{Mode: mode, Ops: RandomOps(33, 15),
+			Seed: 7, Sample: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v event %d: %s", mode, v.Event, v.Msg)
+		}
+	}
+}
+
+// Metadata-heavy workloads across all three modes, sampled.
+func TestMetadataWorkloadSweep(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			res, err := Explore(ExploreConfig{Mode: mode, Ops: MetadataOps(seed*11, 15),
+				Seed: seed, Sample: 40})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", mode, seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%v seed %d event %d: %s", mode, seed, v.Event, v.Msg)
+			}
+		}
+	}
+}
+
+// Double-crash campaigns: crash at an event, then crash again inside
+// RecoverFS/Mount, recover again, and the guarantee must still hold.
+func TestDoubleCrashSweep(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict} {
+		res, err := Explore(ExploreConfig{Mode: mode, Ops: MetadataOps(5, 10),
+			Seed: 3, Sample: 12, DoubleCrash: true, DoubleSample: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DoubleTested == 0 {
+			t.Fatalf("%v: no double-crash points tested", mode)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v event %d/%d: %s", mode, v.Event, v.DoubleEvent, v.Msg)
+		}
+	}
+}
+
+// An orphan-inode campaign: unlink files while handles are open, keep
+// writing through other handles, crash at events around the unlink.
+func TestOrphanUnlinkCampaign(t *testing.T) {
+	ops := []Op{
+		{Path: "/t", Off: -1, Data: []byte("tmpfile-contents"), Fsync: true},
+		{Kind: OpUnlink, Path: "/t"}, // Close=false: unlink-while-open
+		{Path: "/keep", Off: -1, Data: []byte("other data"), Fsync: true},
+		{Kind: OpCreate, Path: "/t2", Close: true},
+	}
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Strict} {
+		res, err := Explore(ExploreConfig{Mode: mode, Ops: ops, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%v event %d: %s", mode, v.Event, v.Msg)
+		}
+	}
+}

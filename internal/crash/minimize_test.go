@@ -1,0 +1,39 @@
+package crash
+
+import (
+	"testing"
+
+	"splitfs/internal/splitfs"
+)
+
+// A seeded fault — every workload fence is "forgotten" via the pmem test
+// hook — must be caught by the sweep and minimized to a tiny reproducer.
+func TestMinimizeSeededFenceViolation(t *testing.T) {
+	cfg := ExploreConfig{
+		Mode:      splitfs.Strict,
+		Ops:       RandomOps(3, 10),
+		Seed:      3,
+		Sample:    24,
+		SkipFence: func(seq int64) bool { return true },
+	}
+	res, err := Minimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ops) > 5 {
+		t.Fatalf("minimized to %d ops, want <= 5", len(res.Ops))
+	}
+	if res.Violation.Msg == "" {
+		t.Fatal("no witness violation")
+	}
+	t.Logf("minimized to %d ops in %d runs: %s", len(res.Ops), res.Runs, res.Violation.Msg)
+}
+
+// A healthy campaign must refuse to minimize.
+func TestMinimizeRejectsHealthyCampaign(t *testing.T) {
+	_, err := Minimize(ExploreConfig{Mode: splitfs.Strict, Ops: RandomOps(5, 4),
+		Seed: 5, Sample: 10})
+	if err == nil {
+		t.Fatal("expected error for a non-violating campaign")
+	}
+}

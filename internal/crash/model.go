@@ -1,0 +1,546 @@
+package crash
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+// The in-memory model mirrors the workload at syscall granularity and
+// derives, for a crash at any point, the set of durable states each mode
+// is allowed to exhibit (the per-mode crash oracles; see DESIGN.md):
+//
+//   - Strict: every completed syscall durable and atomic, so the durable
+//     state must equal the model exactly — either just before or just
+//     after the interrupted syscall.
+//   - Sync: every completed syscall durable (metadata committed, in-place
+//     data fenced) but not atomic; staged appends become durable at
+//     relink points (fsync/close/truncate/rename-flush), matching the
+//     implementation's guarantee.
+//   - POSIX: metadata consistency only — the namespace must equal the
+//     model after SOME syscall prefix no older than the last guaranteed
+//     journal commit, and fsynced content must survive byte-for-byte
+//     outside ranges rewritten since.
+//
+// Data-byte durability is tracked per byte with a small class lattice:
+//
+//	clean      byte equals the last-fsynced content
+//	eitherOr   single in-place POSIX overwrite: old or new value (torn
+//	           words are whole, so each byte is one or the other)
+//	durable    completed sync-mode in-place overwrite: must be the new value
+//	dirty      anything goes (staged, rewritten, or mid-operation)
+type byteClass = byte
+
+const (
+	clsClean byteClass = iota
+	clsEither
+	clsDurable
+	clsDirty
+)
+
+// span is a half-open file range.
+type span struct{ off, end int64 }
+
+// mfile is an immutable snapshot of one file identity after a syscall.
+type mfile struct {
+	id         int
+	data       []byte // logical content
+	cls        []byte // per-byte durability class, len == len(data)
+	synced     []byte // content at the last durability point
+	everSynced bool
+	ksize      int64  // kernel-visible (relinked) size
+	staged     []span // staged ranges not yet relinked
+}
+
+// mstate is the model state after a syscall prefix.
+type mstate struct {
+	files map[string]*mfile
+	dirs  map[string]bool
+	// commitFloor is the syscall index of the last operation that is
+	// guaranteed to have committed the running journal transaction (any
+	// relink: fsync/close with staged data, truncate, rename flush). In
+	// POSIX mode the durable namespace can never be older than this.
+	commitFloor int
+}
+
+// modelRun is the model evaluated over a whole syscall sequence.
+type modelRun struct {
+	mode   splitfs.Mode
+	sys    []syscall
+	states []*mstate        // states[i] = after syscall i; states[0] = empty
+	ids    []map[int]*mfile // per-state identity table (retains dead ids)
+}
+
+func cloneState(s *mstate) *mstate {
+	ns := &mstate{
+		files:       make(map[string]*mfile, len(s.files)),
+		dirs:        make(map[string]bool, len(s.dirs)),
+		commitFloor: s.commitFloor,
+	}
+	for p, f := range s.files {
+		ns.files[p] = f
+	}
+	for d := range s.dirs {
+		ns.dirs[d] = true
+	}
+	return ns
+}
+
+func cloneIDs(m map[int]*mfile) map[int]*mfile {
+	nm := make(map[int]*mfile, len(m))
+	for id, f := range m {
+		nm[id] = f
+	}
+	return nm
+}
+
+// mutate returns a private copy of f ready for modification.
+func (f *mfile) mutate() *mfile {
+	nf := *f
+	nf.data = append([]byte(nil), f.data...)
+	nf.cls = append([]byte(nil), f.cls...)
+	nf.staged = append([]span(nil), f.staged...)
+	return &nf
+}
+
+func overlapsSpans(spans []span, off, end int64) bool {
+	for _, s := range spans {
+		if s.off < end && off < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// buildModel evaluates the syscall sequence and snapshots the state after
+// every syscall.
+func buildModel(mode splitfs.Mode, sys []syscall) *modelRun {
+	m := &modelRun{mode: mode, sys: sys}
+	cur := &mstate{files: map[string]*mfile{}, dirs: map[string]bool{}}
+	curIDs := map[int]*mfile{}
+	m.states = append(m.states, cur)
+	m.ids = append(m.ids, curIDs)
+	nextID := 1
+
+	// relinked applies the durability point a relink (fsync/close with
+	// staged data, truncate, rename flush) creates: staged data becomes
+	// durable in place and the journal transaction commits. The commit
+	// happens inside syscall sysIdx, before the syscall's own namespace
+	// mutation (a rename's flush precedes the rename), so the namespace
+	// floor it establishes is the state before the syscall.
+	relinked := func(st *mstate, ids map[int]*mfile, f *mfile, sysIdx int) *mfile {
+		f = f.mutate()
+		f.staged = nil
+		f.ksize = int64(len(f.data))
+		f.synced = append([]byte(nil), f.data...)
+		f.everSynced = true
+		for i := range f.cls {
+			f.cls[i] = clsClean
+		}
+		if sysIdx-1 > st.commitFloor {
+			st.commitFloor = sysIdx - 1
+		}
+		ids[f.id] = f
+		return f
+	}
+
+	for i, sc := range sys {
+		st := cloneState(cur)
+		ids := cloneIDs(curIDs)
+		sysIdx := i + 1
+		switch sc.kind {
+		case sysOpen:
+			if _, ok := st.files[sc.path]; !ok {
+				f := &mfile{id: nextID}
+				nextID++
+				st.files[sc.path] = f
+				ids[f.id] = f
+			}
+		case sysWrite:
+			f, ok := st.files[sc.path]
+			if !ok { // cannot happen: compile emits the open first
+				f = &mfile{id: nextID}
+				nextID++
+			}
+			f = f.mutate()
+			off := sc.off
+			if off < 0 {
+				off = int64(len(f.data))
+			}
+			end := off + int64(len(sc.data))
+			for int64(len(f.data)) < end {
+				f.data = append(f.data, 0)
+				f.cls = append(f.cls, clsDirty)
+			}
+			copy(f.data[off:end], sc.data)
+			staged := mode == splitfs.Strict || end > f.ksize ||
+				overlapsSpans(f.staged, off, end)
+			if staged {
+				f.staged = append(f.staged, span{off, end})
+				for i := off; i < end; i++ {
+					if i >= f.ksize {
+						f.cls[i] = clsDirty
+					}
+					// Bytes below ksize shadowed by a staged overwrite
+					// keep their class: the media under them is untouched
+					// until the relink.
+				}
+			} else {
+				for i := off; i < end; i++ {
+					if mode == splitfs.Sync {
+						f.cls[i] = clsDurable // fenced before return
+					} else if f.cls[i] == clsClean {
+						f.cls[i] = clsEither
+					} else {
+						f.cls[i] = clsDirty
+					}
+				}
+			}
+			st.files[sc.path] = f
+			ids[f.id] = f
+		case sysFsync:
+			if f, ok := st.files[sc.path]; ok {
+				// fsync is always a durability point: staged data relinks
+				// (or, with nothing staged, a fence drains outstanding
+				// stores), and the journal transaction commits either way.
+				st.files[sc.path] = relinked(st, ids, f, sysIdx)
+			}
+		case sysClose:
+			if f, ok := st.files[sc.path]; ok && len(f.staged) > 0 {
+				st.files[sc.path] = relinked(st, ids, f, sysIdx)
+			}
+		case sysUnlink:
+			delete(st.files, sc.path) // identity stays in ids
+		case sysRename:
+			src, ok := st.files[sc.path]
+			if ok {
+				if len(src.staged) > 0 {
+					src = relinked(st, ids, src, sysIdx)
+				}
+				if dst, ok2 := st.files[sc.path2]; ok2 && len(dst.staged) > 0 {
+					relinked(st, ids, dst, sysIdx)
+				}
+				delete(st.files, sc.path)
+				st.files[sc.path2] = src
+			}
+		case sysTruncate:
+			if f, ok := st.files[sc.path]; ok {
+				if len(f.staged) > 0 {
+					f = relinked(st, ids, f, sysIdx)
+				}
+				f = f.mutate()
+				if sc.size < int64(len(f.data)) {
+					f.data = f.data[:sc.size]
+					f.cls = f.cls[:sc.size]
+				} else {
+					for int64(len(f.data)) < sc.size {
+						f.data = append(f.data, 0)
+						f.cls = append(f.cls, clsDirty)
+					}
+				}
+				if int64(len(f.synced)) > sc.size {
+					f.synced = f.synced[:sc.size]
+				}
+				// U-Split resets the kernel-visible size in both
+				// directions: later writes below it go in place.
+				f.ksize = sc.size
+				st.files[sc.path] = f
+				ids[f.id] = f
+			}
+		case sysMkdir:
+			st.dirs[sc.path] = true
+		}
+		m.states = append(m.states, st)
+		m.ids = append(m.ids, ids)
+		cur, curIDs = st, ids
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------
+// Durable-state capture and the per-mode oracle checks.
+
+// durableState is what the recovered file system actually contains.
+type durableState struct {
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// captureDurable walks the recovered file system. Unreadable files are
+// reported as violations by returning an error.
+func captureDurable(fs vfs.FileSystem) (*durableState, error) {
+	d := &durableState{files: map[string][]byte{}, dirs: map[string]bool{}}
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("readdir %s: %w", dir, err)
+		}
+		for _, e := range ents {
+			p := dir + "/" + e.Name
+			if dir == "/" {
+				p = "/" + e.Name
+			}
+			if e.IsDir {
+				d.dirs[p] = true
+				if err := walk(p); err != nil {
+					return err
+				}
+				continue
+			}
+			data, err := vfs.ReadFile(fs, p)
+			if err != nil {
+				return fmt.Errorf("read %s: %w", p, err)
+			}
+			d.files[p] = data
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// dirtyOverlay returns, per identity, the spans the in-progress syscall
+// may have been mutating on media when the crash hit (its own write
+// range, plus every staged range and the not-yet-relinked tail for
+// relink-performing syscalls). Bytes inside the overlay are exempt from
+// content checks in the sync and POSIX oracles.
+func dirtyOverlay(m *modelRun, c int) map[int][]span {
+	out := map[int][]span{}
+	if c >= len(m.sys) {
+		return out
+	}
+	sc := m.sys[c] // the interrupted syscall (1-based index c+1)
+	st := m.states[c]
+	add := func(path string, spans ...span) {
+		f, ok := st.files[path]
+		if !ok {
+			return
+		}
+		all := append(append([]span(nil), f.staged...), spans...)
+		all = append(all, span{f.ksize, 1 << 62})
+		out[f.id] = all
+	}
+	switch sc.kind {
+	case sysWrite:
+		off := sc.off
+		if f, ok := st.files[sc.path]; ok && off < 0 {
+			off = int64(len(f.data))
+		}
+		if off < 0 {
+			off = 0
+		}
+		add(sc.path, span{off, off + int64(len(sc.data))})
+	case sysFsync, sysClose, sysTruncate:
+		add(sc.path)
+	case sysRename:
+		add(sc.path)
+		add(sc.path2)
+	}
+	return out
+}
+
+func inSpans(spans []span, i int64) bool {
+	for _, s := range spans {
+		if i >= s.off && i < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGuarantee verifies the recovered state against the mode's oracle.
+// c is the number of completed syscalls; if interrupted is true the crash
+// hit inside syscall c+1 (event-level crash), otherwise it fell exactly
+// on the boundary after syscall c.
+func checkGuarantee(m *modelRun, c int, interrupted bool, dur *durableState) string {
+	candidates := []int{c}
+	if interrupted && c+1 <= len(m.sys) {
+		candidates = append(candidates, c+1)
+	}
+	switch m.mode {
+	case splitfs.Strict:
+		var why string
+		for _, j := range candidates {
+			if why = matchExact(m.states[j], dur); why == "" {
+				return ""
+			}
+		}
+		at := describeCrashPoint(m, c, interrupted)
+		return fmt.Sprintf("strict: durable state is neither pre- nor post-%s: %s", at, why)
+	case splitfs.Sync:
+		// fallthrough to the namespace-candidate check below
+	case splitfs.POSIX:
+		// POSIX: the namespace may be any syscall prefix no older than
+		// the last guaranteed commit.
+		floor := m.states[c].commitFloor
+		candidates = nil
+		for j := floor; j <= c; j++ {
+			candidates = append(candidates, j)
+		}
+		if interrupted && c+1 <= len(m.sys) {
+			candidates = append(candidates, c+1)
+		}
+	}
+	overlay := map[int][]span{}
+	if interrupted {
+		overlay = dirtyOverlay(m, c)
+	}
+	var lastWhy string
+	for _, j := range candidates {
+		if why := matchNamespace(m.states[j], dur); why != "" {
+			lastWhy = why
+			continue
+		}
+		if why := matchContent(m, j, c, interrupted, overlay, dur); why != "" {
+			lastWhy = why
+			continue
+		}
+		return ""
+	}
+	at := describeCrashPoint(m, c, interrupted)
+	return fmt.Sprintf("%v: no acceptable state matches at %s: %s", m.mode, at, lastWhy)
+}
+
+func describeCrashPoint(m *modelRun, c int, interrupted bool) string {
+	if interrupted && c < len(m.sys) {
+		sc := m.sys[c]
+		return fmt.Sprintf("op %d (%s %s)", sc.opIdx, sc.kind, sc.path)
+	}
+	return fmt.Sprintf("syscall boundary %d", c)
+}
+
+// matchExact requires byte-identical namespace and contents (strict).
+func matchExact(st *mstate, dur *durableState) string {
+	if why := matchNamespace(st, dur); why != "" {
+		return why
+	}
+	for p, f := range st.files {
+		got := dur.files[p]
+		if !bytes.Equal(got, f.data) {
+			return fmt.Sprintf("%s diverged at byte %d (len got %d want %d)",
+				p, firstDiff(got, f.data), len(got), len(f.data))
+		}
+	}
+	return ""
+}
+
+// matchNamespace requires the durable path sets (files and directories)
+// to equal the model state's.
+func matchNamespace(st *mstate, dur *durableState) string {
+	if len(dur.files) != len(st.files) || len(dur.dirs) != len(st.dirs) {
+		return fmt.Sprintf("namespace shape: %d files/%d dirs durable, want %d/%d",
+			len(dur.files), len(dur.dirs), len(st.files), len(st.dirs))
+	}
+	for p := range st.files {
+		if _, ok := dur.files[p]; !ok {
+			return fmt.Sprintf("file %s missing", p)
+		}
+	}
+	for p := range st.dirs {
+		if !dur.dirs[p] {
+			return fmt.Sprintf("directory %s missing", p)
+		}
+	}
+	return ""
+}
+
+// matchContent checks every durable file's bytes against the sync/POSIX
+// durability classes. Path-to-identity binding comes from the candidate
+// state j; durability facts (synced content, classes) come from the
+// crash-time identity table (state c) — data durability evolves
+// independently of the namespace. When the crash interrupted syscall
+// c+1, the post-syscall record is allowed too: the interrupted syscall's
+// durability effect (say, a truncate's size change) may have committed.
+func matchContent(m *modelRun, j, c int, interrupted bool, overlay map[int][]span, dur *durableState) string {
+	for p, bound := range m.states[j].files {
+		got := dur.files[p]
+		recs := make([]*mfile, 0, 2)
+		if rec, ok := m.ids[c][bound.id]; ok {
+			recs = append(recs, rec)
+		}
+		if interrupted && c+1 < len(m.ids) {
+			if rec, ok := m.ids[c+1][bound.id]; ok {
+				recs = append(recs, rec)
+			}
+		}
+		var why string
+		okAny := len(recs) == 0 // identity born in the interrupted syscall: no constraints yet
+		for _, rec := range recs {
+			if why = contentAgainst(p, got, rec, overlay[bound.id]); why == "" {
+				okAny = true
+				break
+			}
+		}
+		if !okAny {
+			return why
+		}
+	}
+	return ""
+}
+
+// contentAgainst verifies one file's durable bytes against one identity
+// record; overlay spans are exempt (the interrupted syscall was mutating
+// them).
+func contentAgainst(p string, got []byte, rec *mfile, dirty []span) string {
+	if !rec.everSynced {
+		return ""
+	}
+	if int64(len(got)) < int64(len(rec.synced)) {
+		return fmt.Sprintf("%s truncated below synced length: %d < %d",
+			p, len(got), len(rec.synced))
+	}
+	n := len(rec.synced)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if inSpans(dirty, int64(i)) {
+			continue
+		}
+		ok := false
+		switch rec.cls[i] {
+		case clsClean:
+			ok = got[i] == rec.synced[i]
+		case clsEither:
+			ok = got[i] == rec.synced[i] || got[i] == rec.data[i]
+		case clsDurable:
+			ok = got[i] == rec.data[i]
+		default: // clsDirty
+			ok = true
+		}
+		if !ok {
+			return fmt.Sprintf("%s byte %d (class %d) is neither synced nor durable value",
+				p, i, rec.cls[i])
+		}
+	}
+	return ""
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// sortedPaths is a debugging helper used by tests and the CLI.
+func sortedPaths(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,330 @@
+package crash
+
+import (
+	"fmt"
+
+	"splitfs/internal/sim"
+)
+
+// OpKind selects what a workload operation does. The zero value is
+// OpWrite, so legacy write-only campaigns keep constructing Op literals
+// unchanged.
+type OpKind int
+
+const (
+	// OpWrite writes Data at Off (-1 = append), optionally fsyncs.
+	OpWrite OpKind = iota
+	// OpCreate ensures Path exists (open with O_CREATE).
+	OpCreate
+	// OpUnlink removes Path. With Close=false while a handle is open it
+	// exercises the unlink-while-open orphan path.
+	OpUnlink
+	// OpRename moves Path to Path2, replacing a file at Path2.
+	OpRename
+	// OpTruncate truncates Path to Size.
+	OpTruncate
+	// OpMkdir creates directory Path.
+	OpMkdir
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpUnlink:
+		return "unlink"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one workload operation for the campaign.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename destination
+	Off   int64  // -1 means append at current size
+	Size  int64  // truncate target size
+	Data  []byte
+	Fsync bool
+	// Close closes the operation's file handle afterwards (for OpUnlink:
+	// before the unlink, making it a clean delete; without it an open
+	// handle makes the unlink exercise the orphan-inode path).
+	Close bool
+}
+
+// A workload Op expands into POSIX syscalls — open, write, fsync, close,
+// unlink, rename, truncate, mkdir. Syscalls are the atomicity unit of
+// the crash oracles (a crash between the open and the write of one Op
+// legitimately leaves a created-but-empty file), so the model snapshots
+// state per syscall, and the harness records the persistence-event
+// counter per syscall.
+type sysKind int
+
+const (
+	sysOpen sysKind = iota
+	sysWrite
+	sysFsync
+	sysClose
+	sysUnlink
+	sysRename
+	sysTruncate
+	sysMkdir
+)
+
+func (k sysKind) String() string {
+	return [...]string{"open", "write", "fsync", "close", "unlink",
+		"rename", "truncate", "mkdir"}[k]
+}
+
+type syscall struct {
+	kind  sysKind
+	path  string
+	path2 string
+	off   int64
+	size  int64
+	data  []byte
+	opIdx int  // 1-based index of the Op this syscall came from
+	last  bool // final syscall of its Op
+}
+
+// compile expands ops into the syscall sequence the executor will issue,
+// tracking which paths have open handles (the executor follows the same
+// rules, so compilation is exact). orphan unlinks (Close=false with an
+// open handle) drop the handle from the table without a close syscall.
+func compile(ops []Op) []syscall {
+	open := map[string]bool{}
+	var out []syscall
+	emit := func(s syscall) { out = append(out, s) }
+	for i, op := range ops {
+		idx := i + 1
+		switch op.Kind {
+		case OpWrite:
+			if !open[op.Path] {
+				emit(syscall{kind: sysOpen, path: op.Path, opIdx: idx})
+				open[op.Path] = true
+			}
+			emit(syscall{kind: sysWrite, path: op.Path, off: op.Off, data: op.Data, opIdx: idx})
+			if op.Fsync {
+				emit(syscall{kind: sysFsync, path: op.Path, opIdx: idx})
+			}
+			if op.Close {
+				emit(syscall{kind: sysClose, path: op.Path, opIdx: idx})
+				delete(open, op.Path)
+			}
+		case OpCreate:
+			if !open[op.Path] {
+				emit(syscall{kind: sysOpen, path: op.Path, opIdx: idx})
+				open[op.Path] = true
+			}
+			if op.Close {
+				emit(syscall{kind: sysClose, path: op.Path, opIdx: idx})
+				delete(open, op.Path)
+			}
+		case OpUnlink:
+			if open[op.Path] && op.Close {
+				emit(syscall{kind: sysClose, path: op.Path, opIdx: idx})
+			}
+			// Close=false with an open handle: the executor keeps the
+			// handle open across the unlink (orphan inode, tmpfile
+			// pattern) but the path no longer resolves to it.
+			delete(open, op.Path)
+			emit(syscall{kind: sysUnlink, path: op.Path, opIdx: idx})
+		case OpRename:
+			emit(syscall{kind: sysRename, path: op.Path, path2: op.Path2, opIdx: idx})
+			// A replaced destination's handle becomes an orphan handle;
+			// the source handle follows the file to its new name.
+			if open[op.Path] {
+				delete(open, op.Path)
+				open[op.Path2] = true
+			} else {
+				delete(open, op.Path2)
+			}
+		case OpTruncate:
+			if !open[op.Path] {
+				emit(syscall{kind: sysOpen, path: op.Path, opIdx: idx})
+				open[op.Path] = true
+			}
+			emit(syscall{kind: sysTruncate, path: op.Path, size: op.Size, opIdx: idx})
+			if op.Close {
+				emit(syscall{kind: sysClose, path: op.Path, opIdx: idx})
+				delete(open, op.Path)
+			}
+		case OpMkdir:
+			emit(syscall{kind: sysMkdir, path: op.Path, opIdx: idx})
+		}
+	}
+	for j := range out {
+		out[j].last = j == len(out)-1 || out[j+1].opIdx != out[j].opIdx
+	}
+	return out
+}
+
+// sysPrefix returns how many syscalls the first n ops compile to.
+func sysPrefix(sys []syscall, n int) int {
+	for i, s := range sys {
+		if s.opIdx > n {
+			return i
+		}
+	}
+	return len(sys)
+}
+
+// RandomOps builds a deterministic workload of writes/appends/fsyncs for
+// campaign sweeps.
+func RandomOps(seed uint64, n int) []Op {
+	rng := sim.NewRNG(seed)
+	sizes := map[string]int64{}
+	paths := []string{"/c0", "/c1", "/c2"}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		p := paths[rng.Intn(len(paths))]
+		data := make([]byte, rng.Intn(3000)+1)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		off := int64(-1)
+		if sizes[p] > 0 && rng.Intn(3) == 0 {
+			off = rng.Int63n(sizes[p])
+		}
+		end := off + int64(len(data))
+		if off < 0 {
+			end = sizes[p] + int64(len(data))
+		}
+		if end > sizes[p] {
+			sizes[p] = end
+		}
+		ops = append(ops, Op{Path: p, Off: off, Data: data, Fsync: rng.Intn(4) == 0})
+	}
+	return ops
+}
+
+// MetadataOps builds a deterministic workload mixing data writes with
+// metadata operations — create, unlink (incl. unlink-while-open), rename
+// (incl. replacing renames), truncate, mkdir — and per-op handle closes,
+// driving the paths the per-mode metadata oracles check.
+func MetadataOps(seed uint64, n int) []Op {
+	rng := sim.NewRNG(seed)
+	type fstate struct{ size int64 }
+	files := map[string]*fstate{}
+	dirs := []string{} // beyond "/"
+	nextFile, nextDir := 0, 0
+
+	fileNames := func() []string {
+		// Deterministic iteration order: names are generated in sequence.
+		var out []string
+		for i := 0; i < nextFile; i++ {
+			for _, d := range append([]string{""}, dirs...) {
+				p := fmt.Sprintf("%s/f%d", d, i)
+				if _, ok := files[p]; ok {
+					out = append(out, p)
+				}
+			}
+		}
+		return out
+	}
+	freshPath := func() string {
+		d := ""
+		if len(dirs) > 0 && rng.Intn(2) == 0 {
+			d = dirs[rng.Intn(len(dirs))]
+		}
+		p := fmt.Sprintf("%s/f%d", d, nextFile)
+		nextFile++
+		return p
+	}
+	data := func() []byte {
+		b := make([]byte, rng.Intn(2500)+1)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		return b
+	}
+
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		live := fileNames()
+		roll := rng.Intn(100)
+		if len(live) == 0 && roll >= 55 && roll < 88 {
+			roll = 50 // nothing to unlink/rename/truncate: create instead
+		}
+		switch {
+		case roll < 45:
+			// Data write: mostly appends to an existing or fresh file.
+			var p string
+			if len(live) > 0 && rng.Intn(4) != 0 {
+				p = live[rng.Intn(len(live))]
+			} else {
+				p = freshPath()
+				files[p] = &fstate{}
+			}
+			f := files[p]
+			d := data()
+			off := int64(-1)
+			if f.size > 0 && rng.Intn(3) == 0 {
+				off = rng.Int63n(f.size)
+			}
+			end := off + int64(len(d))
+			if off < 0 {
+				end = f.size + int64(len(d))
+			}
+			if end > f.size {
+				f.size = end
+			}
+			ops = append(ops, Op{Path: p, Off: off, Data: d,
+				Fsync: rng.Intn(4) == 0, Close: rng.Intn(5) == 0})
+		case roll < 55:
+			p := freshPath()
+			files[p] = &fstate{}
+			ops = append(ops, Op{Kind: OpCreate, Path: p, Close: rng.Intn(2) == 0})
+		case roll < 67:
+			p := live[rng.Intn(len(live))]
+			delete(files, p)
+			// Close=false keeps any open handle across the unlink: the
+			// orphan-inode (tmpfile) path.
+			ops = append(ops, Op{Kind: OpUnlink, Path: p, Close: rng.Intn(2) == 0})
+		case roll < 79:
+			src := live[rng.Intn(len(live))]
+			var dst string
+			if len(live) > 1 && rng.Intn(2) == 0 {
+				// Replacing rename over another live file.
+				dst = live[rng.Intn(len(live))]
+				if dst == src {
+					dst = freshPath()
+				}
+			} else {
+				dst = freshPath()
+			}
+			files[dst] = files[src]
+			delete(files, src)
+			ops = append(ops, Op{Kind: OpRename, Path: src, Path2: dst})
+		case roll < 88:
+			p := live[rng.Intn(len(live))]
+			f := files[p]
+			var sz int64
+			if f.size > 0 {
+				sz = rng.Int63n(f.size + f.size/3 + 1)
+			}
+			f.size = sz
+			ops = append(ops, Op{Kind: OpTruncate, Path: p, Size: sz,
+				Close: rng.Intn(3) == 0})
+		default:
+			if len(dirs) >= 3 {
+				continue // keep the tree small; reroll
+			}
+			d := fmt.Sprintf("/d%d", nextDir)
+			nextDir++
+			dirs = append(dirs, d)
+			ops = append(ops, Op{Kind: OpMkdir, Path: d})
+		}
+	}
+	return ops
+}

@@ -79,7 +79,7 @@ func (fs *FS) addDirent(dir *inode, name string, ino uint64, isDir bool) error {
 		}
 		fs.note(dirty.Off, dirty.Len)
 		// Zero the fresh directory block so record parsing terminates.
-		fs.dev.Store(fs.bBmp.ExtentOffset(e), make([]byte, sim.BlockSize), sim.CatPMMeta)
+		fs.dev.StoreBuffered(fs.bBmp.ExtentOffset(e), make([]byte, sim.BlockSize), sim.CatPMMeta)
 		fs.note(fs.bBmp.ExtentOffset(e), sim.BlockSize)
 		appendFileExtent(dir, e)
 		dir.blocks += e.Len
@@ -89,7 +89,7 @@ func (fs *FS) addDirent(dir *inode, name string, ino uint64, isDir bool) error {
 		return vfs.ErrInval
 	}
 	devOff += dir.tailOff % sim.BlockSize
-	fs.dev.Store(devOff, rec, sim.CatPMMeta)
+	fs.dev.StoreBuffered(devOff, rec, sim.CatPMMeta)
 	fs.note(devOff, len(rec))
 	dir.entries[name] = &dirEntry{name: name, ino: ino, isDir: isDir, devOff: devOff}
 	dir.tailOff += need
@@ -113,7 +113,7 @@ func (fs *FS) removeDirent(dir *inode, name string) (*dirEntry, error) {
 	}
 	// Tombstone: zero the ino field, keep nameLen so parsers skip it.
 	var zero [8]byte
-	fs.dev.Store(de.devOff, zero[:], sim.CatPMMeta)
+	fs.dev.StoreBuffered(de.devOff, zero[:], sim.CatPMMeta)
 	fs.note(de.devOff, 8)
 	delete(dir.entries, name)
 	return de, nil
@@ -189,16 +189,13 @@ func (fs *FS) freeInode(in *inode) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, e := range in.extents {
-		dirty := fs.bBmp.Free(e.phys)
-		fs.note(dirty.Off, dirty.Len)
+		fs.deferFree(fs.bBmp, e.phys)
 	}
 	for _, blk := range in.overflow {
-		dirty := fs.bBmp.Free(alloc.Extent{Start: blk, Len: 1})
-		fs.note(dirty.Off, dirty.Len)
+		fs.deferFree(fs.bBmp, alloc.Extent{Start: blk, Len: 1})
 	}
 	in.extents, in.overflow = nil, nil
 	in.size, in.blocks = 0, 0
-	dirty := fs.iBmp.Free(alloc.Extent{Start: int64(in.ino), Len: 1})
-	fs.note(dirty.Off, dirty.Len)
+	fs.deferFree(fs.iBmp, alloc.Extent{Start: int64(in.ino), Len: 1})
 	delete(fs.icache, in.ino)
 }

@@ -306,8 +306,7 @@ func (fs *FS) truncateLocked(in *inode, size int64) {
 	if size < in.size {
 		fromLogical := (size + sim.BlockSize - 1) / sim.BlockSize
 		for _, e := range truncateExtents(in, fromLogical) {
-			dirty := fs.bBmp.Free(e)
-			fs.note(dirty.Off, dirty.Len)
+			fs.deferFree(fs.bBmp, e)
 			in.blocks -= e.Len
 		}
 	}

@@ -80,8 +80,21 @@ type FS struct {
 	// commit while handles are open". txIdle signals txHold reaching zero.
 	txHold int
 	txIdle *sync.Cond
+	// pendingFrees are extents released by the running transaction. Like
+	// jbd2, the blocks stay marked allocated — and therefore cannot be
+	// handed out again — until the transaction commits: if a crash rolls
+	// the transaction back, their old owner gets them back, so any reuse
+	// before the commit would let new data alias rolled-back state (e.g.
+	// a relink-punched staging range scribbled over before the relink
+	// committed). The bitmap clears join the committing transaction.
+	pendingFrees []pendingFree
 
 	stats fsStats
+}
+
+type pendingFree struct {
+	bmp *alloc.Bitmap
+	e   alloc.Extent
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -275,11 +288,25 @@ func (fs *FS) awaitCommittable() {
 	}
 }
 
-// commitTx commits the running transaction, if any. Caller holds fs.mu.
+// deferFree schedules an extent's release for the next commit. Caller
+// holds fs.mu.
+func (fs *FS) deferFree(bmp *alloc.Bitmap, e alloc.Extent) {
+	fs.beginTx()
+	fs.pendingFrees = append(fs.pendingFrees, pendingFree{bmp: bmp, e: e})
+}
+
+// commitTx commits the running transaction, if any, applying the
+// transaction's deferred block frees first so the bitmap clears commit
+// atomically with the rest of it. Caller holds fs.mu.
 func (fs *FS) commitTx() error {
 	if fs.tx == nil {
 		return nil
 	}
+	for _, pf := range fs.pendingFrees {
+		dirty := pf.bmp.Free(pf.e)
+		fs.tx.Note(dirty.Off, dirty.Len)
+	}
+	fs.pendingFrees = nil
 	tx := fs.tx
 	fs.tx = nil
 	fs.txN = 0
@@ -317,12 +344,11 @@ func (fs *FS) writeInode(in *inode) {
 	for len(in.overflow) > overflowNeeded {
 		last := in.overflow[len(in.overflow)-1]
 		in.overflow = in.overflow[:len(in.overflow)-1]
-		dirty := fs.bBmp.Free(alloc.Extent{Start: last, Len: 1})
-		fs.note(dirty.Off, dirty.Len)
+		fs.deferFree(fs.bBmp, alloc.Extent{Start: last, Len: 1})
 	}
 	rec := in.encode()
 	off := fs.inodeOff(in.ino)
-	fs.dev.Store(off, rec, sim.CatPMMeta)
+	fs.dev.StoreBuffered(off, rec, sim.CatPMMeta)
 	fs.note(off, len(rec))
 	// Write overflow chains.
 	rest := in.extents
@@ -348,7 +374,7 @@ func (fs *FS) writeInode(in *inode) {
 			putExtent(buf[overflowHeader+k*extentRecSize:], e)
 		}
 		devOff := fs.bBmp.BlockOffset(blk)
-		fs.dev.Store(devOff, buf, sim.CatPMMeta)
+		fs.dev.StoreBuffered(devOff, buf, sim.CatPMMeta)
 		fs.note(devOff, len(buf))
 		_ = i
 	}

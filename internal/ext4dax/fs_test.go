@@ -204,6 +204,11 @@ func TestTruncate(t *testing.T) {
 	if err := f.Truncate(sim.BlockSize); err != nil {
 		t.Fatal(err)
 	}
+	// Freed blocks are released at the next journal commit (jbd2: no
+	// reuse of blocks freed by a running transaction).
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	if fs.FreeBlocks() != free+2 {
 		t.Fatalf("truncate freed %d blocks, want 2", fs.FreeBlocks()-free)
 	}
@@ -229,6 +234,9 @@ func TestUnlinkFreesSpace(t *testing.T) {
 	f.Write(make([]byte, 64*sim.BlockSize))
 	f.Close()
 	if err := fs.Unlink("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // deferred frees apply at commit
 		t.Fatal(err)
 	}
 	if fs.FreeBlocks() != free {
@@ -297,6 +305,9 @@ func TestRename(t *testing.T) {
 	vfs.WriteFile(fs, "/other", []byte("other"))
 	free := fs.FreeBlocks()
 	if err := fs.Rename("/d/dst", "/other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil { // deferred frees apply at commit
 		t.Fatal(err)
 	}
 	if fs.FreeBlocks() != free+1 {

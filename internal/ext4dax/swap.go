@@ -97,8 +97,7 @@ func (f *File) PunchHole(off, n int64) error {
 	}
 	f.in.mu.Lock()
 	for _, e := range extractExtents(f.in, off/sim.BlockSize, n/sim.BlockSize) {
-		dirty := fs.bBmp.Free(e)
-		fs.note(dirty.Off, dirty.Len)
+		fs.deferFree(fs.bBmp, e)
 		f.in.blocks -= e.Len
 	}
 	fs.writeInode(f.in)
@@ -209,10 +208,9 @@ func (fs *FS) RelinkStep(src, dst *File, srcOff, dstOff, n int64, newDstSize int
 	}
 	// Punch the source range: it now holds the destination's old blocks
 	// (or the fresh ones from step 1); either way the staging space is
-	// reclaimed.
+	// reclaimed — at commit time, per the deferred-free rule.
 	for _, e := range extractExtents(src.in, srcOff/sim.BlockSize, n/sim.BlockSize) {
-		dirty := fs.bBmp.Free(e)
-		fs.note(dirty.Off, dirty.Len)
+		fs.deferFree(fs.bBmp, e)
 		src.in.blocks -= e.Len
 	}
 	if newDstSize > dst.in.size {

@@ -1,0 +1,173 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"splitfs/internal/sim"
+)
+
+func newEvDev(t *testing.T) *Device {
+	t.Helper()
+	return New(Config{Size: 1 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+}
+
+func TestEventCountingByKind(t *testing.T) {
+	d := newEvDev(t)
+	base := d.Events()
+	d.Store(0, []byte("abc"), sim.CatPMMeta)
+	d.StoreNT(4096, []byte("def"), sim.CatPMData)
+	d.Flush(0, 3, sim.CatPMMeta)
+	d.Fence()
+	st := d.EventStats()
+	if st.Stores < 1 || st.StoresNT < 1 || st.Flushes < 1 || st.Fences < 1 {
+		t.Fatalf("missing kinds: %+v", st)
+	}
+	if got := d.Events() - base; got != 4 {
+		t.Fatalf("expected 4 events, got %d", got)
+	}
+	if st.Total() != d.Events() {
+		t.Fatalf("breakdown %d != counter %d", st.Total(), d.Events())
+	}
+}
+
+func TestTraceRecordsRangeAndCategory(t *testing.T) {
+	d := newEvDev(t)
+	d.SetTracing(true)
+	d.StoreNT(128, []byte("xyzw"), sim.CatOpLog)
+	d.Fence()
+	tr := d.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[0].Kind != EvStoreNT || tr[0].Off != 128 || tr[0].Len != 4 || tr[0].Cat != sim.CatOpLog {
+		t.Fatalf("bad store event %+v", tr[0])
+	}
+	if tr[1].Kind != EvFence || tr[1].Seq != tr[0].Seq+1 {
+		t.Fatalf("bad fence event %+v", tr[1])
+	}
+	d.SetTracing(false)
+	d.Fence()
+	if len(d.Trace()) != 0 {
+		t.Fatal("trace not cleared")
+	}
+}
+
+// An armed crash at event k must produce exactly the durable image a run
+// truncated at event k produces — record/replay's core property.
+func TestArmCrashMatchesTruncatedRun(t *testing.T) {
+	ops := func(d *Device, n int) {
+		seq := [](func()){
+			func() { d.StoreNT(0, []byte("first-line-of-data!"), sim.CatPMData) },
+			func() { d.Fence() },
+			func() { d.StoreNT(4096, bytes.Repeat([]byte{7}, 200), sim.CatPMData) },
+			func() { d.Store(8192, []byte("cached"), sim.CatPMMeta) },
+			func() { d.Flush(8192, 6, sim.CatPMMeta) },
+			func() { d.Fence() },
+			func() { d.StoreNT(300, []byte("tail-unfenced"), sim.CatPMData) },
+		}
+		for i := 0; i < n; i++ {
+			seq[i]()
+		}
+	}
+	for k := int64(1); k <= 7; k++ {
+		// Truncated run: execute exactly the first k events, then crash.
+		dt := newEvDev(t)
+		ops(dt, int(k))
+		if err := dt.Crash(sim.NewRNG(99)); err != nil {
+			t.Fatal(err)
+		}
+		// Replay run: arm at k, execute everything, then crash.
+		dr := newEvDev(t)
+		dr.ArmCrash(k, sim.NewRNG(99))
+		ops(dr, 7)
+		if !dr.CrashFired() {
+			t.Fatalf("k=%d: crash point not reached", k)
+		}
+		if err := dr.Crash(sim.NewRNG(12345)); err != nil { // rng must be ignored
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dt.data[:16384], dr.data[:16384]) {
+			t.Fatalf("k=%d: replay image diverges from truncated run", k)
+		}
+	}
+}
+
+func TestArmCrashDeterministic(t *testing.T) {
+	img := func() []byte {
+		d := newEvDev(t)
+		d.ArmCrash(3, sim.NewRNG(42))
+		d.StoreNT(0, bytes.Repeat([]byte{1}, 500), sim.CatPMData)
+		d.Store(4096, bytes.Repeat([]byte{2}, 500), sim.CatPMData)
+		d.StoreNT(8192, bytes.Repeat([]byte{3}, 500), sim.CatPMData)
+		d.Fence()
+		if err := d.Crash(nil); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), d.data[:12288]...)
+	}
+	if !bytes.Equal(img(), img()) {
+		t.Fatal("same seed, same events: images differ")
+	}
+}
+
+// Buffered stores model jbd2 write-ahead metadata: visible to loads,
+// never durable until flushed+fenced, wholly reverted on crash.
+func TestStoreBufferedWriteAhead(t *testing.T) {
+	d := newEvDev(t)
+	payload := bytes.Repeat([]byte{0xAB}, 128)
+	d.StoreBuffered(0, payload, sim.CatPMMeta)
+
+	got := make([]byte, 128)
+	d.Peek(got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("buffered store not visible to loads")
+	}
+	// A fence alone must not persist it, and tearing must not leak it.
+	d.Fence()
+	if err := d.Crash(sim.NewRNG(7)); err != nil {
+		t.Fatal(err)
+	}
+	d.Peek(got, 0)
+	if !bytes.Equal(got, make([]byte, 128)) {
+		t.Fatal("uncommitted buffered metadata leaked to the durable image")
+	}
+
+	// Flush + fence (the journal checkpoint) makes it durable.
+	d.StoreBuffered(0, payload, sim.CatPMMeta)
+	d.Flush(0, 128, sim.CatPMMeta)
+	d.Fence()
+	if err := d.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Peek(got, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("checkpointed buffered metadata lost")
+	}
+}
+
+func TestFenceFilterDropsPersistence(t *testing.T) {
+	d := newEvDev(t)
+	d.SetFenceFilter(func(seq int64) bool { return seq == 1 })
+	d.StoreNT(0, []byte("gone"), sim.CatPMData)
+	d.Fence() // dropped
+	d.SetFenceFilter(nil)
+	if err := d.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	d.Peek(got, 0)
+	if bytes.Equal(got, []byte("gone")) {
+		t.Fatal("dropped fence still persisted data")
+	}
+
+	d.StoreNT(0, []byte("kept"), sim.CatPMData)
+	d.Fence()
+	if err := d.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Peek(got, 0)
+	if !bytes.Equal(got, []byte("kept")) {
+		t.Fatal("normal fence lost data after filter removed")
+	}
+}

@@ -48,6 +48,12 @@ const (
 	// linePending: flushed (clwb) or written with non-temporal stores; it
 	// is sitting in the write-pending queue and persists at the next fence.
 	linePending
+	// lineBuffered: written with write-ahead buffered stores
+	// (StoreBuffered). It models a jbd2-style metadata buffer that lives
+	// in the DRAM page cache: loads observe it, but it can never reach
+	// the media until explicitly Flushed (journal checkpoint) and fenced.
+	// On crash it reverts wholly — no tearing, no random eviction.
+	lineBuffered
 )
 
 // Config configures a Device.
@@ -113,6 +119,14 @@ type Device struct {
 	wear      []atomic.Uint32 // writes per 4 KB block (nil unless TrackWear)
 
 	lastReadEnd atomic.Int64 // for sequential-vs-random latency
+
+	// Persistence-event machinery (event.go). events is the monotone
+	// event counter; frozen means an armed crash point has been reached
+	// and the durable shadow must no longer change.
+	events atomic.Int64
+	evKind [evKinds]atomic.Int64
+	frozen atomic.Bool
+	ev     eventState
 
 	nBytesNT     atomic.Int64
 	nBytesCached atomic.Int64
@@ -269,6 +283,7 @@ func (d *Device) StoreNT(off int64, p []byte, cat sim.Category) {
 	d.clock.Charge(cat, int64(sim.PMWriteLatencyNs)+sim.ChargeBytes(len(p), sim.PMWritePsPerByte))
 	d.write(off, p, linePending)
 	d.nBytesNT.Add(int64(len(p)))
+	d.event(EvStoreNT, cat, off, int64(len(p)))
 }
 
 // Store writes p with ordinary temporal stores. The data sits in the CPU
@@ -279,6 +294,22 @@ func (d *Device) Store(off int64, p []byte, cat sim.Category) {
 	d.clock.Charge(cat, sim.ChargeBytes(len(p), sim.StorePsPerByte))
 	d.write(off, p, lineDirty)
 	d.nBytesCached.Add(int64(len(p)))
+	d.event(EvStore, cat, off, int64(len(p)))
+}
+
+// StoreBuffered writes p as write-ahead-buffered metadata: loads observe
+// the new content immediately, but the covered lines can never reach the
+// media until they are Flushed (a journal checkpoint) and fenced, and on
+// crash they revert wholly. This models jbd2's metadata buffers, which
+// live in the DRAM page cache until the journal's commit record is
+// durable — the write-ahead property that makes journaled metadata
+// atomic. Cache-speed on the clock, like Store. Not a persistence event:
+// the crash image is unchanged.
+func (d *Device) StoreBuffered(off int64, p []byte, cat sim.Category) {
+	d.checkRange(off, len(p))
+	d.clock.Charge(cat, sim.ChargeBytes(len(p), sim.StorePsPerByte))
+	d.write(off, p, lineBuffered)
+	d.nBytesCached.Add(int64(len(p)))
 }
 
 func (d *Device) write(off int64, p []byte, st lineState) {
@@ -288,8 +319,11 @@ func (d *Device) write(off int64, p []byte, st lineState) {
 		last := (hi - 1) / sim.CacheLine
 		for ln := first; ln <= last; ln++ {
 			// An NT store to a dirty line still leaves the line pending: the
-			// NT data is in the WPQ regardless of prior cached stores.
-			if st == linePending || s.lines[ln] == 0 {
+			// NT data is in the WPQ regardless of prior cached stores. A
+			// buffered store claims the line outright — write-ahead metadata
+			// must never leak to media via an older state — while a plain
+			// dirty store only claims untracked lines.
+			if st != lineDirty || s.lines[ln] == 0 {
 				s.lines[ln] = st
 			}
 		}
@@ -303,9 +337,10 @@ func (d *Device) write(off int64, p []byte, st lineState) {
 }
 
 // Flush issues clwb for every cache line covering [off, off+n): dirty
-// lines move to the write-pending queue and will persist at the next
-// Fence. Only dirty lines cost write-back time; a clwb of a clean line
-// has nothing to write back.
+// and buffered lines move to the write-pending queue and will persist at
+// the next Fence (for buffered metadata this is the journal-checkpoint
+// write-back). Only modified lines cost write-back time; a clwb of a
+// clean line has nothing to write back.
 func (d *Device) Flush(off int64, n int, cat sim.Category) {
 	if n <= 0 {
 		return
@@ -316,7 +351,7 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 		first := lo / sim.CacheLine
 		last := (hi - 1) / sim.CacheLine
 		for ln := first; ln <= last; ln++ {
-			if s.lines[ln] == lineDirty {
+			if st := s.lines[ln]; st == lineDirty || st == lineBuffered {
 				s.lines[ln] = linePending
 				dirty++
 			}
@@ -324,6 +359,7 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 	})
 	d.nFlushes.Add(dirty)
 	d.clock.Charge(cat, dirty*sim.FlushLineNs)
+	d.event(EvFlush, cat, off, int64(n))
 }
 
 // Fence issues an sfence: every line in the write-pending queue becomes
@@ -333,6 +369,12 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 func (d *Device) Fence() {
 	d.clock.Charge(sim.CatFence, sim.FenceNs)
 	d.nFences.Add(1)
+	if d.dropFence() {
+		// Fault injection (SetFenceFilter): the sfence was "forgotten" —
+		// nothing drains. Still a persistence event.
+		d.event(EvFence, sim.CatFence, 0, 0)
+		return
+	}
 	persisted := int64(0)
 	for i := range d.shards {
 		s := &d.shards[i]
@@ -354,12 +396,15 @@ func (d *Device) Fence() {
 		s.mu.Unlock()
 	}
 	d.nPersisted.Add(persisted)
+	d.event(EvFence, sim.CatFence, 0, 0)
 }
 
 // persistLine copies one cache line from the volatile view to the durable
-// view. Caller holds the lock of the shard owning the line.
+// view. A frozen device (armed crash point reached) keeps its durable
+// image fixed: later fences drain the queue but write nothing back.
+// Caller holds the lock of the shard owning the line.
 func (d *Device) persistLine(ln int64) {
-	if d.persisted == nil {
+	if d.persisted == nil || d.frozen.Load() {
 		return
 	}
 	off := ln * sim.CacheLine
@@ -386,7 +431,14 @@ func (d *Device) Persist(off int64, p []byte, cat sim.Category) {
 //   - If rng is nil, every unpersisted line reverts entirely.
 //   - If rng is non-nil, each unpersisted 8-byte word independently has a
 //     50% chance of having reached the media, producing torn lines — the
-//     failure mode SplitFS's log-entry checksum must detect.
+//     failure mode SplitFS's log-entry checksum must detect. Lines are
+//     visited in sorted order, so one seed yields one image.
+//   - Buffered (write-ahead metadata) lines always revert wholly.
+//
+// If an armed crash point fired (CrashFired), the durable image was
+// already frozen — torn words included — at that event; rng is ignored
+// and the volatile view rewinds to the frozen image, which also disarms
+// and unfreezes the device.
 //
 // Returns ErrNoPersistence when the device has no durable shadow.
 func (d *Device) Crash(rng *sim.RNG) error {
@@ -395,21 +447,20 @@ func (d *Device) Crash(rng *sim.RNG) error {
 	}
 	d.lockAll()
 	defer d.unlockAll()
+	frozen := d.frozen.Load()
 	for i := range d.shards {
 		s := &d.shards[i]
-		if rng != nil {
-			for ln := range s.lines {
-				off := ln * sim.CacheLine
-				for w := int64(0); w < sim.CacheLine; w += 8 {
-					if rng.Uint64()&1 == 0 {
-						copy(d.persisted[off+w:off+w+8], d.data[off+w:off+w+8])
-					}
-				}
-			}
+		if !frozen {
+			tearLines(d, s, rng)
 		}
 		s.lines = make(map[int64]lineState)
 		s.active.Store(false)
 	}
+	d.frozen.Store(false)
+	d.ev.mu.Lock()
+	d.ev.armedAt, d.ev.rng = 0, nil
+	d.ev.refreshHooks()
+	d.ev.mu.Unlock()
 	copy(d.data, d.persisted)
 	d.lastReadEnd.Store(-1)
 	return nil

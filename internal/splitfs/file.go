@@ -421,10 +421,13 @@ func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 	}
 	switch fs.mode {
 	case Strict:
-		// Entry write + single fence covers the data too (§3.3).
+		// Entry write + single fence covers the data too (§3.3). The
+		// entry carries a checksum over the staged bytes so recovery can
+		// reject it if the shared fence never completed and the data tore.
+		fs.clk.Charge(sim.CatCPU, sim.ChargeBytes(len(p), sim.ChecksumPsPerByte))
 		fs.opSeq++
 		fs.appendLog(of, encWriteEntry(uint32(of.ino), off, uint32(need),
-			uint32(c.sf.kf.Ino()), sfOff, fs.opSeq))
+			uint32(c.sf.kf.Ino()), sfOff, fs.opSeq, stagedSum(p)))
 	case Sync:
 		fs.dev.Fence()
 	}

@@ -110,13 +110,18 @@ func oplogRegion(fs *FS, kf *ext4dax.File) (base, size int64, err error) {
 	return base, size, nil
 }
 
-// encWriteEntry builds a 37-byte staged-write record — one cache line on
+// encWriteEntry builds a 41-byte staged-write record — one cache line on
 // the log including the metalog header (§3.3: "all common case
 // operations can be logged using a single 64B log entry"). seq is the
 // monotonically increasing operation sequence compared against the
-// inode's relink watermark at recovery.
-func encWriteEntry(ino uint32, fileOff int64, length uint32, stagingIno uint32, stagingOff int64, seq uint64) []byte {
-	b := make([]byte, 37)
+// inode's relink watermark at recovery. dataSum is a checksum over the
+// staged bytes the entry points at: entry and data share one fence, so a
+// crash between the entry store and that fence can leave the entry line
+// intact while the staged data tore — recovery must treat such an entry
+// as never completed, which only a checksum over the data can establish.
+// (Found by the persistence-event crash sweep; see DESIGN.md.)
+func encWriteEntry(ino uint32, fileOff int64, length uint32, stagingIno uint32, stagingOff int64, seq uint64, dataSum uint32) []byte {
+	b := make([]byte, 41)
 	b[0] = opEntryWrite
 	binary.LittleEndian.PutUint32(b[1:], ino)
 	binary.LittleEndian.PutUint32(b[5:], stagingIno)
@@ -124,7 +129,23 @@ func encWriteEntry(ino uint32, fileOff int64, length uint32, stagingIno uint32, 
 	binary.LittleEndian.PutUint32(b[17:], length)
 	binary.LittleEndian.PutUint64(b[21:], uint64(stagingOff))
 	binary.LittleEndian.PutUint64(b[29:], seq)
+	binary.LittleEndian.PutUint32(b[37:], dataSum)
 	return b
+}
+
+// stagedSum checksums staged data for a write entry (FNV-1a folded to 32
+// bits; zero is avoided so "no checksum" can never validate).
+func stagedSum(p []byte) uint32 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	s := uint32(h ^ h>>32)
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // encMetaEntry records a metadata operation (open, close, unlink, ...).

@@ -79,6 +79,15 @@ func RecoverFS(kfs *ext4dax.FS, cfg Config) (*FS, *RecoveryReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The fresh operation log and staging files (and the removal of the
+	// crashed instance's staging files) must be durable before the
+	// recovered instance accepts writes: a second crash would otherwise
+	// find log entries pointing into staging files whose creation never
+	// committed. This is also what makes recovery idempotent under
+	// double crashes — the double-crash campaign sweeps RecoverFS itself.
+	if err := kfs.CommitMeta(); err != nil {
+		return nil, nil, err
+	}
 	return fs, report, nil
 }
 
@@ -92,16 +101,20 @@ func (fs *FS) replayEntries(entries [][]byte, report *RecoveryReport) error {
 		}
 		switch e[0] {
 		case opEntryWrite:
+			if len(e) < 41 {
+				return fmt.Errorf("splitfs recovery: short write entry (%d bytes)", len(e))
+			}
 			ino := uint64(binary.LittleEndian.Uint32(e[1:]))
 			stagingIno := uint64(binary.LittleEndian.Uint32(e[5:]))
 			fileOff := int64(binary.LittleEndian.Uint64(e[9:]))
 			length := int64(binary.LittleEndian.Uint32(e[17:]))
 			stagingOff := int64(binary.LittleEndian.Uint64(e[21:]))
 			seq := binary.LittleEndian.Uint64(e[29:])
+			dataSum := binary.LittleEndian.Uint32(e[37:])
 			if seq > fs.opSeq {
 				fs.opSeq = seq
 			}
-			applied, err := fs.replayWrite(ino, fileOff, length, stagingIno, stagingOff, seq)
+			applied, err := fs.replayWrite(ino, fileOff, length, stagingIno, stagingOff, seq, dataSum)
 			if err != nil {
 				return err
 			}
@@ -122,10 +135,13 @@ func (fs *FS) replayEntries(entries [][]byte, report *RecoveryReport) error {
 // replayWrite re-applies one staged write. An entry is live only when
 // (a) its sequence number is above the target inode's relink watermark —
 // the watermark commits atomically with each relink, so covered entries
-// are already durable in the target — and (b) its staging range is still
-// allocated (punched ranges also mean a committed relink). Live entries
-// are copied into the target; replay is idempotent.
-func (fs *FS) replayWrite(ino uint64, fileOff, length int64, stagingIno uint64, stagingOff int64, seq uint64) (bool, error) {
+// are already durable in the target — (b) its staging range is still
+// allocated (punched ranges also mean a committed relink), and (c) the
+// staged bytes match the entry's data checksum — entry and data share
+// one fence, so an entry that survived a crash intact may point at torn
+// data, and replaying it would materialize a half-written operation.
+// Live entries are copied into the target; replay is idempotent.
+func (fs *FS) replayWrite(ino uint64, fileOff, length int64, stagingIno uint64, stagingOff int64, seq uint64, dataSum uint32) (bool, error) {
 	stagingPath, ok := fs.kfs.PathByIno(stagingIno)
 	if !ok {
 		return false, nil // staging file gone: entry predates a checkpoint
@@ -153,6 +169,12 @@ func (fs *FS) replayWrite(ino uint64, fileOff, length int64, stagingIno uint64, 
 	buf := make([]byte, length)
 	if _, err := sf.ReadAt(buf, stagingOff); err != nil {
 		return false, err
+	}
+	if stagedSum(buf) != dataSum {
+		// The shared fence never completed: the entry line survived but
+		// the staged data tore. The operation never completed, so it must
+		// not be replayed (all-or-nothing).
+		return false, nil
 	}
 	tf, err := fs.kfs.OpenFile(targetPath, vfs.O_RDWR, 0)
 	if err != nil {

@@ -57,6 +57,11 @@ func TestUnlinkWhileOpenThenRecycle(t *testing.T) {
 	if err := fa.Close(); err != nil {
 		t.Fatal(err)
 	}
+	// The orphan's blocks are released by the last close, but the bitmap
+	// clears only apply at the next journal commit (deferred frees).
+	if err := fs.KFS().CommitMeta(); err != nil {
+		t.Fatal(err)
+	}
 	if got := fs.KFS().FreeBlocks(); got <= freeBefore {
 		t.Fatalf("last close did not free the orphan's blocks: %d vs %d", got, freeBefore)
 	}

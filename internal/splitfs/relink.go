@@ -2,6 +2,7 @@ package splitfs
 
 import (
 	"fmt"
+	"sort"
 
 	"splitfs/internal/sim"
 )
@@ -21,10 +22,14 @@ import (
 // Copy-only (sub-block) entries are idempotent to re-apply.
 func (fs *FS) relinkLocked(of *ofile) error {
 	if len(of.staged) == 0 {
-		// Nothing staged: fsync only fences outstanding stores (in-place
-		// overwrites in POSIX mode).
+		// Nothing staged: fence outstanding stores (in-place overwrites in
+		// POSIX mode) and commit the running journal transaction — fsync
+		// promises durability of the file's metadata too, so an earlier
+		// truncate or allocating write must not be lost. An empty
+		// transaction commits for free. (Found by the persistence-event
+		// crash sweep: truncate + fsync + crash lost the truncate.)
 		fs.dev.Fence()
-		return nil
+		return fs.kfs.CommitMeta()
 	}
 	staged := of.staged
 	of.staged = nil
@@ -58,8 +63,19 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	}
 	defer endBatch()
 
-	for i, s := range staged {
-		a, b := s.fileOff, s.fileOff+s.length
+	// Later staged ranges shadow earlier ones, so partition the staged
+	// list into latest-writer-wins pieces: every file byte is sourced
+	// from exactly one staged range. Beyond avoiding dead copies, the
+	// disjointness is a crash-safety requirement: a sub-block copy must
+	// never land inside a file range whose blocks an earlier step of this
+	// same (uncommitted) batch swapped in from the staging file — if the
+	// crash rolls the batch back, those blocks return to the staging file
+	// with the copy scribbled over the staged data recovery replays.
+	// Disjoint pieces make such an overlap impossible, because a relinked
+	// run covers only whole blocks that belong entirely to its own piece.
+	// (Found by the persistence-event crash sweep; see DESIGN.md.)
+	for _, pc := range partitionStaged(staged) {
+		s, a, b := pc.src, pc.a, pc.b
 		if s.dram != nil {
 			// DRAM-staged data has no PM blocks to relink: copy it all
 			// (§4: this copy is why DRAM staging loses).
@@ -84,12 +100,8 @@ func (fs *FS) relinkLocked(of *ofile) error {
 			}
 		}
 		if tail > head {
-			newSize := of.size
-			if i < len(staged)-1 {
-				newSize = 0 // only the last step extends the size
-			}
 			err := fs.kfs.RelinkStep(s.sf.kf, of.kf,
-				s.sfOff+(head-a), head, tail-head, newSize)
+				s.sfOff+(head-s.fileOff), head, tail-head, of.size)
 			if err != nil {
 				return fmt.Errorf("relinkstep a=%d b=%d head=%d tail=%d sfOff=%d: %w", a, b, head, tail, s.sfOff, err)
 			}
@@ -127,6 +139,42 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	}
 	fs.setAttrSize(of, of.size)
 	return nil
+}
+
+// relinkPiece is a maximal sub-range [a, b) of one staged range that no
+// later staged range shadows.
+type relinkPiece struct {
+	src stagedRange
+	a   int64
+	b   int64
+}
+
+// partitionStaged splits staged ranges into disjoint latest-writer-wins
+// pieces: each piece's bytes come from the last range that wrote them.
+func partitionStaged(staged []stagedRange) []relinkPiece {
+	var pieces []relinkPiece
+	for i, s := range staged {
+		segs := []relinkPiece{{src: s, a: s.fileOff, b: s.fileOff + s.length}}
+		for _, later := range staged[i+1:] {
+			lo, hi := later.fileOff, later.fileOff+later.length
+			next := segs[:0:0]
+			for _, g := range segs {
+				if g.b <= lo || hi <= g.a {
+					next = append(next, g)
+					continue
+				}
+				if g.a < lo {
+					next = append(next, relinkPiece{src: s, a: g.a, b: lo})
+				}
+				if hi < g.b {
+					next = append(next, relinkPiece{src: s, a: hi, b: g.b})
+				}
+			}
+			segs = next
+		}
+		pieces = append(pieces, segs...)
+	}
+	return pieces
 }
 
 // setAttrSize updates the attribute cache's size for a file's path —
@@ -197,6 +245,10 @@ func (fs *FS) relinkAll(owner *ofile) error {
 		all = append(all, of)
 	}
 	fs.mu.RUnlock()
+	// Deterministic order: the crash harness replays workloads by
+	// absolute persistence-event number, so a checkpoint must relink
+	// files in the same order every run (map order would not be).
+	sort.Slice(all, func(i, j int) bool { return all[i].ino < all[j].ino })
 	for _, of := range all {
 		if of != owner {
 			of.mu.Lock()
