@@ -42,6 +42,7 @@ func main() {
 	modeFlag := flag.String("mode", "all", "consistency mode: all, posix, sync, strict")
 	sample := flag.Int("sample", 0, "max events tested per workload (0 = every persistence event)")
 	metadata := flag.Bool("metadata", false, "add metadata-heavy workloads (create/unlink/rename/truncate/mkdir)")
+	async := flag.Bool("async", false, "add async-relink workloads (multi-file fsyncs + group syncs through the background pipeline)")
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
 	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
 	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
@@ -81,6 +82,14 @@ func main() {
 						DoubleCrash: *doubleCrash, DoubleSample: *doubleSample},
 				})
 			}
+			if *async {
+				jobs = append(jobs, job{
+					name: fmt.Sprintf("%v/async/seed%d", mode, seed),
+					cfg: crash.ExploreConfig{Mode: mode, Ops: crash.AsyncOps(seed*17, *nops),
+						Seed: seed ^ 0x3c, Sample: *sample,
+						DoubleCrash: *doubleCrash, DoubleSample: *doubleSample},
+				})
+			}
 		}
 	}
 
@@ -92,6 +101,7 @@ func main() {
 		runs       int
 		byKind     = map[string]int64{}
 		testedKind = map[string]int64{}
+		unknown    = map[string]bool{}
 		violations []crash.Violation
 		vioJob     *job
 		failed     bool
@@ -121,6 +131,9 @@ func main() {
 				}
 				for k, n := range res.TestedByKind {
 					testedKind[k] += n
+				}
+				for _, k := range res.UnknownKinds {
+					unknown[k] = true
 				}
 				for _, v := range res.Violations {
 					fmt.Printf("VIOLATION %s event=%d double=%d: %s\n",
@@ -159,6 +172,20 @@ func main() {
 		fmt.Printf(" %s=%d/%d", k, testedKind[k], byKind[k])
 	}
 	fmt.Println()
+	if len(unknown) > 0 {
+		// A kind or source this build does not know means someone added a
+		// persistence-event category without teaching the coverage tables
+		// about it — the sweep crashed at events whose semantics nobody
+		// vouched for. That is a harness bug, so fail loudly rather than
+		// bucket them quietly.
+		names := make([]string, 0, len(unknown))
+		for k := range unknown {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "crashcheck: UNKNOWN EVENT KINDS swept: %v — update pmem event kinds/sources and the coverage tables\n", names)
+		failed = true
+	}
 
 	if len(violations) > 0 && *minimize && vioJob != nil {
 		fmt.Printf("minimizing %s (%d ops)...\n", vioJob.name, len(vioJob.cfg.Ops))

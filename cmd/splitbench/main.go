@@ -7,23 +7,77 @@
 //	splitbench list             # list experiment IDs
 //	splitbench table1 fig4 ...  # run selected experiments
 //	splitbench -threads 8 scaling
+//	splitbench -json "" ...     # suppress BENCH_results.json
 //
 // -threads N sets the worker-goroutine sweep of the concurrent-mode
 // "scaling" experiment to powers of two up to N (default 4). Wall-clock
 // scaling needs GOMAXPROCS >= N.
+//
+// Experiments that attach machine-readable metrics (e.g. scaling,
+// groupcommit) are additionally serialized to the -json file as records
+// of {experiment, metric, value, unit, git_rev}, appended per run so the
+// perf trajectory across revisions accumulates in one place.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 
 	"splitfs/internal/harness"
 )
 
+// benchRecord is one serialized metric in BENCH_results.json.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit"`
+	GitRev     string  `json:"git_rev"`
+}
+
+// gitRev resolves the working tree's revision, falling back to CI's
+// GITHUB_SHA and then "unknown" (the JSON stays well-formed either way).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	return "unknown"
+}
+
+// writeResults appends the run's metrics to the JSON array already in
+// path (if any), so the file accumulates the perf trajectory across
+// revisions. An unreadable or corrupt existing file is started fresh.
+func writeResults(path string, recs []benchRecord) error {
+	var all []benchRecord
+	if prev, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(prev, &all)
+	}
+	all = append(all, recs...)
+	buf, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0644)
+}
+
 func main() {
 	threads := flag.Int("threads", 0,
 		"max worker threads for the concurrent-mode scaling experiment (0 keeps the default sweep)")
+	jsonPath := flag.String("json", "BENCH_results.json",
+		"write machine-readable metrics here (empty disables)")
 	flag.Parse()
 	if *threads < 0 {
 		fmt.Fprintln(os.Stderr, "splitbench: -threads must not be negative")
@@ -61,6 +115,8 @@ func main() {
 		}
 	}
 	failed := false
+	rev := gitRev()
+	var recs []benchRecord
 	for _, e := range exps {
 		tbl, err := e.Run()
 		if err != nil {
@@ -69,6 +125,19 @@ func main() {
 			continue
 		}
 		tbl.Render(os.Stdout)
+		for _, m := range tbl.Metrics {
+			recs = append(recs, benchRecord{
+				Experiment: e.ID, Metric: m.Name, Value: m.Value, Unit: m.Unit, GitRev: rev,
+			})
+		}
+	}
+	if *jsonPath != "" && len(recs) > 0 {
+		if err := writeResults(*jsonPath, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: write %s: %v\n", *jsonPath, err)
+			failed = true
+		} else {
+			fmt.Printf("wrote %d metrics to %s (rev %s)\n", len(recs), *jsonPath, rev)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -21,6 +21,7 @@ package crash
 
 import (
 	"fmt"
+	"sort"
 
 	"splitfs/internal/ext4dax"
 	"splitfs/internal/pmem"
@@ -118,8 +119,10 @@ func newEnv(mode splitfs.Mode, devBytes int64) (*env, *splitfs.FS, error) {
 // runner executes compiled syscalls, tracking open handles the way
 // compile assumed. Handles dropped by unlink/rename without a close stay
 // open (orphan inodes) until the simulated process dies with the crash.
+// The runner drives any vfs.FileSystem, so the differential
+// backend-equivalence suite feeds one trace through every backend.
 type runner struct {
-	fs      *splitfs.FS
+	fs      vfs.FileSystem
 	handles map[string]vfs.File
 	orphans []vfs.File
 }
@@ -176,6 +179,24 @@ func (r *runner) apply(sc syscall) error {
 		return r.handles[sc.path].Truncate(sc.size)
 	case sysMkdir:
 		return r.fs.Mkdir(sc.path, 0755)
+	case sysSyncall:
+		// Group sync: splitfs drains every open file through one
+		// group-committed relink batch. Backends without a SyncAll get
+		// the equivalent sequence of per-handle fsyncs in path order.
+		if sa, ok := r.fs.(interface{ SyncAll() error }); ok {
+			return sa.SyncAll()
+		}
+		paths := make([]string, 0, len(r.handles))
+		for p := range r.handles {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			if err := r.handles[p].Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("crash: unknown syscall %v", sc.kind)
 	}

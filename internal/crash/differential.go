@@ -1,0 +1,203 @@
+package crash
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/logfs"
+	"splitfs/internal/nova"
+	"splitfs/internal/pmem"
+	"splitfs/internal/pmfs"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/strata"
+	"splitfs/internal/vfs"
+)
+
+// The differential backend-equivalence suite: one generated syscall
+// trace (the same generators the crash campaigns use) is fed through
+// every file system in the repository via the vfs interface, and the
+// final namespace plus file contents must be identical everywhere. The
+// crash oracles verify SplitFS against a model of itself; this suite
+// verifies the model-independent claim — §3.1's transparency property —
+// that all backends implement the same POSIX-visible semantics, using
+// the other five implementations as each other's oracle.
+
+// DiffBackends lists the backends the suite compares, reference first.
+var DiffBackends = []string{
+	"ext4-dax",
+	"splitfs-posix", "splitfs-sync", "splitfs-strict",
+	"nova-strict", "nova-relaxed", "pmfs", "strata", "logfs",
+}
+
+// DiffMismatch is one divergence from the reference backend.
+type DiffMismatch struct {
+	Backend string
+	Path    string
+	Why     string
+}
+
+func (m DiffMismatch) String() string {
+	return fmt.Sprintf("%s: %s: %s", m.Backend, m.Path, m.Why)
+}
+
+// DiffResult reports one differential run.
+type DiffResult struct {
+	Reference  string // backend the others are compared against
+	Backends   []string
+	Syscalls   int
+	Trace      string // canonical trace rendering (seed-stability golden)
+	Mismatches []DiffMismatch
+}
+
+// newDiffFS builds one backend instance on a fresh device.
+func newDiffFS(kind string, devBytes int64) (vfs.FileSystem, error) {
+	clk := sim.NewClock()
+	dev := pmem.New(pmem.Config{Size: devBytes, Clock: clk})
+	lcfg := logfs.Config{LogBytes: 4 << 20, SnapshotSlotBytes: 1 << 20}
+	switch kind {
+	case "ext4-dax":
+		return ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 512})
+	case "splitfs-posix", "splitfs-sync", "splitfs-strict":
+		kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 512})
+		if err != nil {
+			return nil, err
+		}
+		mode := splitfs.POSIX
+		switch kind {
+		case "splitfs-sync":
+			mode = splitfs.Sync
+		case "splitfs-strict":
+			mode = splitfs.Strict
+		}
+		return splitfs.New(kfs, splitfs.Config{Mode: mode, StagingFiles: 4,
+			StagingFileBytes: 1 << 20, OpLogBytes: 256 << 10})
+	case "nova-strict":
+		return nova.New(dev, nova.Strict, lcfg), nil
+	case "nova-relaxed":
+		return nova.New(dev, nova.Relaxed, lcfg), nil
+	case "pmfs":
+		return pmfs.New(dev, lcfg), nil
+	case "strata":
+		return strata.New(dev, strata.Config{PrivateLogBytes: 2 << 20, Shared: lcfg}), nil
+	case "logfs":
+		return logfs.New(dev, logfs.Profile{Name: "logfs"}, lcfg), nil
+	default:
+		return nil, fmt.Errorf("crash: unknown diff backend %q", kind)
+	}
+}
+
+// renderTrace produces the canonical, human-readable form of a compiled
+// trace; the seed-stability golden pins its hash so generator drift is
+// caught explicitly.
+func renderTrace(sys []syscall) string {
+	var sb strings.Builder
+	for i, sc := range sys {
+		fmt.Fprintf(&sb, "%d %s %s %s off=%d size=%d len=%d\n",
+			i, sc.kind, sc.path, sc.path2, sc.off, sc.size, len(sc.data))
+	}
+	return sb.String()
+}
+
+// TraceHash is an FNV-1a digest of a differential trace rendering, the
+// quantity the seed-stability goldens pin.
+func TraceHash(trace string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(trace); i++ {
+		h ^= uint64(trace[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Differential feeds ops through every backend and compares final
+// states against the first backend's. devBytes sizes each backend's
+// device (0 = 32 MB).
+func Differential(ops []Op, devBytes int64) (*DiffResult, error) {
+	if devBytes == 0 {
+		devBytes = defaultDevBytes
+	}
+	sys := compile(ops)
+	res := &DiffResult{
+		Reference: DiffBackends[0],
+		Backends:  append([]string(nil), DiffBackends...),
+		Syscalls:  len(sys),
+		Trace:     renderTrace(sys),
+	}
+	states := make(map[string]*durableState, len(DiffBackends))
+	for _, kind := range DiffBackends {
+		fs, err := newDiffFS(kind, devBytes)
+		if err != nil {
+			return nil, fmt.Errorf("diff backend %s: %w", kind, err)
+		}
+		r := &runner{fs: fs, handles: map[string]vfs.File{}}
+		for i, sc := range sys {
+			if err := r.apply(sc); err != nil {
+				return nil, fmt.Errorf("diff backend %s: syscall %d (%v %s): %w",
+					kind, i, sc.kind, sc.path, err)
+			}
+		}
+		// Close every live handle so close-time relinks/digests run and
+		// the captured state is the settled one (orphan handles stay open:
+		// their unlinked inodes must NOT reappear in any namespace).
+		paths := make([]string, 0, len(r.handles))
+		for p := range r.handles {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			if err := r.handles[p].Close(); err != nil {
+				return nil, fmt.Errorf("diff backend %s: close %s: %w", kind, p, err)
+			}
+		}
+		st, err := captureDurable(fs)
+		if err != nil {
+			return nil, fmt.Errorf("diff backend %s: capture: %w", kind, err)
+		}
+		states[kind] = st
+	}
+	ref := states[res.Reference]
+	for _, kind := range DiffBackends[1:] {
+		res.Mismatches = append(res.Mismatches, diffStates(kind, ref, states[kind])...)
+	}
+	return res, nil
+}
+
+// diffStates compares one backend's final state against the reference.
+func diffStates(kind string, ref, got *durableState) []DiffMismatch {
+	var out []DiffMismatch
+	add := func(path, why string) {
+		out = append(out, DiffMismatch{Backend: kind, Path: path, Why: why})
+	}
+	for _, p := range sortedPaths(ref.files) {
+		g, ok := got.files[p]
+		if !ok {
+			add(p, "file missing")
+			continue
+		}
+		w := ref.files[p]
+		if !bytes.Equal(g, w) {
+			add(p, fmt.Sprintf("content diverges at byte %d (len got %d want %d)",
+				firstDiff(g, w), len(g), len(w)))
+		}
+	}
+	for _, p := range sortedPaths(got.files) {
+		if _, ok := ref.files[p]; !ok {
+			add(p, "unexpected file")
+		}
+	}
+	for p := range ref.dirs {
+		if !got.dirs[p] {
+			add(p, "directory missing")
+		}
+	}
+	for p := range got.dirs {
+		if !ref.dirs[p] {
+			add(p, "unexpected directory")
+		}
+	}
+	return out
+}

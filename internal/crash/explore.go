@@ -3,6 +3,7 @@ package crash
 import (
 	"sort"
 
+	"splitfs/internal/pmem"
 	"splitfs/internal/sim"
 	"splitfs/internal/splitfs"
 )
@@ -57,11 +58,28 @@ type ExploreResult struct {
 	Tested       int
 	DoubleTested int
 	// ByKind/TestedByKind break the window's events and the tested events
-	// down by kind (store/storent/flush/fence) — the coverage stats.
+	// down by coverage label — kind (store/storent/flush/fence), suffixed
+	// with the event source for events issued by background pipeline
+	// stages (e.g. "storent@relink", "fence@reclaim").
 	ByKind       map[string]int64
 	TestedByKind map[string]int64
+	// UnknownKinds lists coverage labels built from event kinds or
+	// sources this build does not know (a newer pmem added one without
+	// updating the coverage tables). Consumers must surface these loudly
+	// — silently bucketing an unknown kind would mean sweeping events
+	// whose semantics nobody checked.
+	UnknownKinds []string
 	Violations   []Violation
 	Runs         int // total campaign executions, recording run included
+}
+
+// kindLabel is the coverage-bucket name of one traced event.
+func kindLabel(ev pmem.Event) string {
+	s := ev.Kind.String()
+	if ev.Src != pmem.SrcForeground {
+		s += "@" + ev.Src.String()
+	}
+	return s
 }
 
 // Explore runs the sweep.
@@ -85,12 +103,21 @@ func Explore(cfg ExploreConfig) (*ExploreResult, error) {
 	res.Window = [2]int64{w0, w1}
 	res.TotalEvents = w1 - w0
 	kindOf := map[int64]string{}
+	unknown := map[string]bool{}
 	for _, ev := range record.Trace {
 		if ev.Seq > w0 && ev.Seq <= w1 {
-			res.ByKind[ev.Kind.String()]++
-			kindOf[ev.Seq] = ev.Kind.String()
+			label := kindLabel(ev)
+			res.ByKind[label]++
+			kindOf[ev.Seq] = label
+			if !ev.Kind.Known() || !ev.Src.Known() {
+				unknown[label] = true
+			}
 		}
 	}
+	for label := range unknown {
+		res.UnknownKinds = append(res.UnknownKinds, label)
+	}
+	sort.Strings(res.UnknownKinds)
 
 	events := sampleEvents(w0+1, w1, cfg.Sample, sim.NewRNG(mix(cfg.Seed, 0x5a)))
 	for _, k := range cfg.Include {

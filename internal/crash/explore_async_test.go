@@ -1,0 +1,114 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"splitfs/internal/pmem"
+	"splitfs/internal/splitfs"
+)
+
+// TestAsyncRelinkSweepAllModes sweeps persistence events over a workload
+// shaped for the asynchronous relink pipeline — multi-file appends with
+// per-file fsyncs and group syncs (OpSyncAll) — in all three modes. The
+// pipeline runs in deterministic single-drain mode (the default), so the
+// sweep crosses the background-stage events (relink workers, group
+// commit, staging reclamation) at every point; all of them must be
+// violation-free.
+func TestAsyncRelinkSweepAllModes(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := Explore(ExploreConfig{
+				Mode: mode,
+				Ops:  AsyncOps(53, 18),
+				Seed: 5,
+				// Bounded: the full windows run to thousands of events;
+				// the deterministic sample still crosses dozens of
+				// background-stage events (asserted below).
+				Sample: 160,
+			})
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation at event %d: %s", v.Event, v.Msg)
+			}
+			if len(res.UnknownKinds) != 0 {
+				t.Errorf("unknown event kinds: %v", res.UnknownKinds)
+			}
+			// The workload must actually produce background-pipeline
+			// events, and the sweep must crash at some of them.
+			var pipelineEvents, pipelineTested int64
+			for k, n := range res.ByKind {
+				if strings.Contains(k, "@relink") || strings.Contains(k, "@reclaim") {
+					pipelineEvents += n
+				}
+			}
+			for k, n := range res.TestedByKind {
+				if strings.Contains(k, "@relink") || strings.Contains(k, "@reclaim") {
+					pipelineTested += n
+				}
+			}
+			if pipelineEvents == 0 {
+				t.Fatalf("no background-pipeline events in window; ByKind=%v", res.ByKind)
+			}
+			if pipelineTested == 0 {
+				t.Fatalf("sweep tested no background-pipeline events; TestedByKind=%v", res.TestedByKind)
+			}
+		})
+	}
+}
+
+// TestGroupSyncDoubleCrash drives the multi-file group-commit drain
+// through double crashes (a second crash inside recovery) to confirm
+// recovery of group-committed batches is itself crash-consistent.
+func TestGroupSyncDoubleCrash(t *testing.T) {
+	res, err := Explore(ExploreConfig{
+		Mode:        splitfs.Strict,
+		Ops:         AsyncOps(29, 12),
+		Seed:        3,
+		Sample:      24,
+		DoubleCrash: true,
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation event=%d double=%d: %s", v.Event, v.DoubleEvent, v.Msg)
+	}
+	if res.DoubleTested == 0 {
+		t.Fatal("no double-crash runs executed")
+	}
+}
+
+// TestUnknownEventKindsSurfaced verifies that a trace containing event
+// kinds or sources this build does not know lands in UnknownKinds
+// instead of being silently bucketed under a known label.
+func TestUnknownEventKindsSurfaced(t *testing.T) {
+	record := []pmem.Event{
+		{Seq: 11, Kind: pmem.EvStoreNT, Src: pmem.SrcForeground},
+		{Seq: 12, Kind: pmem.EventKind(57), Src: pmem.SrcForeground},
+		{Seq: 13, Kind: pmem.EvFence, Src: pmem.EventSource(9)},
+	}
+	byKind := map[string]int64{}
+	unknown := map[string]bool{}
+	for _, ev := range record {
+		label := kindLabel(ev)
+		byKind[label]++
+		if !ev.Kind.Known() || !ev.Src.Known() {
+			unknown[label] = true
+		}
+	}
+	if len(unknown) != 2 {
+		t.Fatalf("want 2 unknown labels, got %v", unknown)
+	}
+	if !unknown["unknown-kind-57"] {
+		t.Errorf("unknown kind not surfaced: %v", unknown)
+	}
+	if !unknown["fence@unknown-src-9"] {
+		t.Errorf("unknown source not surfaced: %v", unknown)
+	}
+	if byKind["storent"] != 1 {
+		t.Errorf("known kind mis-bucketed: %v", byKind)
+	}
+}

@@ -252,6 +252,23 @@ func buildModel(mode splitfs.Mode, sys []syscall) *modelRun {
 			}
 		case sysMkdir:
 			st.dirs[sc.path] = true
+		case sysSyncall:
+			// Group sync: every file with staged data relinks, all batches
+			// sharing one journal commit. Files without staged data only
+			// gain fence-level durability, which the model conservatively
+			// does not credit (fewer clean bytes = weaker assertions, never
+			// false violations). Iterate in sorted path order so model
+			// construction is deterministic.
+			var paths []string
+			for p, f := range st.files {
+				if len(f.staged) > 0 {
+					paths = append(paths, p)
+				}
+			}
+			sort.Strings(paths)
+			for _, p := range paths {
+				st.files[p] = relinked(st, ids, st.files[p], sysIdx)
+			}
 		}
 		m.states = append(m.states, st)
 		m.ids = append(m.ids, ids)
@@ -341,6 +358,14 @@ func dirtyOverlay(m *modelRun, c int) map[int][]span {
 	case sysRename:
 		add(sc.path)
 		add(sc.path2)
+	case sysSyncall:
+		// The interrupted group sync may have been relinking any file
+		// with staged data.
+		for p, f := range st.files {
+			if len(f.staged) > 0 {
+				add(p)
+			}
+		}
 	}
 	return out
 }

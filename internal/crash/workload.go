@@ -25,6 +25,12 @@ const (
 	OpTruncate
 	// OpMkdir creates directory Path.
 	OpMkdir
+	// OpSyncAll fsyncs every open file at once (splitfs.SyncAll): the
+	// multi-file drain of the asynchronous relink pipeline, where all
+	// files' relink batches share one group-committed journal
+	// transaction. On backends without a SyncAll, it degrades to fsync
+	// of each open handle in path order.
+	OpSyncAll
 )
 
 // String names the kind.
@@ -42,6 +48,8 @@ func (k OpKind) String() string {
 		return "truncate"
 	case OpMkdir:
 		return "mkdir"
+	case OpSyncAll:
+		return "syncall"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -79,11 +87,12 @@ const (
 	sysRename
 	sysTruncate
 	sysMkdir
+	sysSyncall
 )
 
 func (k sysKind) String() string {
 	return [...]string{"open", "write", "fsync", "close", "unlink",
-		"rename", "truncate", "mkdir"}[k]
+		"rename", "truncate", "mkdir", "syncall"}[k]
 }
 
 type syscall struct {
@@ -161,6 +170,8 @@ func compile(ops []Op) []syscall {
 			}
 		case OpMkdir:
 			emit(syscall{kind: sysMkdir, path: op.Path, opIdx: idx})
+		case OpSyncAll:
+			emit(syscall{kind: sysSyncall, opIdx: idx})
 		}
 	}
 	for j := range out {
@@ -204,6 +215,42 @@ func RandomOps(seed uint64, n int) []Op {
 			sizes[p] = end
 		}
 		ops = append(ops, Op{Path: p, Off: off, Data: data, Fsync: rng.Intn(4) == 0})
+	}
+	return ops
+}
+
+// AsyncOps builds a deterministic workload shaped for the asynchronous
+// relink pipeline: appends and overwrites spread over several files with
+// frequent per-file fsyncs and periodic group syncs (OpSyncAll), so the
+// persistence-event sweep crosses many background relink-worker drains
+// and multi-file group commits.
+func AsyncOps(seed uint64, n int) []Op {
+	rng := sim.NewRNG(seed)
+	sizes := map[string]int64{}
+	paths := []string{"/a0", "/a1", "/a2", "/a3"}
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(7) == 0 {
+			ops = append(ops, Op{Kind: OpSyncAll})
+			continue
+		}
+		p := paths[rng.Intn(len(paths))]
+		data := make([]byte, rng.Intn(2600)+1)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		off := int64(-1)
+		if sizes[p] > 0 && rng.Intn(4) == 0 {
+			off = rng.Int63n(sizes[p])
+		}
+		end := off + int64(len(data))
+		if off < 0 {
+			end = sizes[p] + int64(len(data))
+		}
+		if end > sizes[p] {
+			sizes[p] = end
+		}
+		ops = append(ops, Op{Path: p, Off: off, Data: data, Fsync: rng.Intn(3) == 0})
 	}
 	return ops
 }

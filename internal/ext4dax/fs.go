@@ -75,6 +75,17 @@ type FS struct {
 	icache map[uint64]*inode
 	tx     *journal.Tx
 	txN    int
+	// txID identifies the running transaction (valid while tx != nil);
+	// ids are assigned from nextTxID in beginTx and are strictly
+	// monotone. doneTxID is the highest id whose transaction committed.
+	// Together they implement jbd2-style group commit: a mutation noted
+	// under id T is durable exactly when doneTxID >= T, so a committer
+	// that finds its id already covered (another fsync's commit — the
+	// group-commit leader — absorbed it) returns without issuing any
+	// journal IO or fences of its own. See CommitUpTo.
+	txID     uint64
+	nextTxID uint64
+	doneTxID uint64
 	// txHold counts open batch handles (BeginBatch); while positive, the
 	// running transaction must not commit — jbd2's "a transaction cannot
 	// commit while handles are open". txIdle signals txHold reaching zero.
@@ -228,6 +239,8 @@ func (fs *FS) beginTx() {
 	if fs.tx == nil {
 		fs.tx = fs.jnl.Begin()
 		fs.txN = 0
+		fs.nextTxID++
+		fs.txID = fs.nextTxID
 	}
 }
 
@@ -263,8 +276,19 @@ func (fs *FS) maybeCommit() {
 // threshold, not by a concurrent CommitMeta or fsync. This is how the
 // relink ioctl keeps a multi-step fsync batch atomic against other
 // journal users (jbd2: a transaction with open handles cannot commit).
+//
+// Group commit lets many concurrent batches share one transaction, so a
+// transaction can now grow well past the size threshold before anything
+// commits it; the first batch to open against an already-bloated idle
+// transaction commits it first, keeping the transaction within the
+// journal descriptor's capacity.
 func (fs *FS) BeginBatch() {
 	fs.mu.Lock()
+	if fs.txHold == 0 && fs.txN >= fs.cfg.TxCommitThreshold {
+		if err := fs.commitTx(); err != nil {
+			panic(fmt.Sprintf("ext4dax: pre-batch threshold commit failed: %v", err))
+		}
+	}
 	fs.txHold++
 	fs.mu.Unlock()
 }
@@ -308,11 +332,13 @@ func (fs *FS) commitTx() error {
 	}
 	fs.pendingFrees = nil
 	tx := fs.tx
+	id := fs.txID
 	fs.tx = nil
 	fs.txN = 0
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	fs.doneTxID = id
 	fs.stats.commits.Add(1)
 	return nil
 }

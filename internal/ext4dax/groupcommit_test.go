@@ -1,0 +1,85 @@
+package ext4dax
+
+import (
+	"testing"
+
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// TestCommitUpToAbsorbedByLeader verifies the jbd2 leader/follower
+// contract: once any commit covers a transaction id, CommitUpTo for that
+// id returns without journal IO of its own.
+func TestCommitUpToAbsorbedByLeader(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	fs, err := Mkfs(dev, Config{MaxInodes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.Create(fs, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	txid := fs.TxID()
+	// A "leader" (any other journal user) commits the shared transaction.
+	if err := fs.CommitMeta(); err != nil {
+		t.Fatal(err)
+	}
+	commits := fs.Stats().Commits
+	fences := dev.Stats().Fences
+	// The follower's fsync finds its transaction already durable.
+	if err := fs.CommitUpTo(txid); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats().Commits; got != commits {
+		t.Fatalf("absorbed CommitUpTo issued a commit (%d -> %d)", commits, got)
+	}
+	if got := dev.Stats().Fences; got != fences {
+		t.Fatalf("absorbed CommitUpTo issued fences (%d -> %d)", fences, got)
+	}
+	if fs.DoneTxID() < txid {
+		t.Fatalf("DoneTxID %d below committed id %d", fs.DoneTxID(), txid)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxIDStableUnderBatch verifies the capture rule relink relies on:
+// while a batch handle is open the transaction cannot commit, so the id
+// taken inside the batch covers every note the batch made.
+func TestTxIDStableUnderBatch(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20, Clock: sim.NewClock(), TrackPersistence: true})
+	fs, err := Mkfs(dev, Config{MaxInodes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.BeginBatch()
+	id1 := fs.TxID()
+	f, err := vfs.Create(fs, "/b") // notes into the running transaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2 := fs.TxID()
+	if id1 != id2 {
+		t.Fatalf("transaction id advanced inside an open batch: %d -> %d", id1, id2)
+	}
+	fs.EndBatch()
+	if err := fs.CommitUpTo(id2); err != nil {
+		t.Fatal(err)
+	}
+	if fs.DoneTxID() < id2 {
+		t.Fatalf("batch transaction %d not committed (done %d)", id2, fs.DoneTxID())
+	}
+	// A fresh transaction gets a strictly larger id.
+	if id3 := fs.TxID(); id3 <= id2 {
+		t.Fatalf("new transaction id %d not monotone after %d", id3, id2)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -235,6 +235,59 @@ func (fs *FS) CommitMeta() error {
 	return fs.commitTx()
 }
 
+// TxID returns the id of the running journal transaction, starting one if
+// none is. Every mutation noted while this id stays current commits with
+// it; CommitUpTo(id) then makes them durable. Capture the id while a
+// batch handle (BeginBatch) is still open: the transaction cannot commit
+// while the handle is held, so the id is guaranteed to cover every note
+// the batch made.
+func (fs *FS) TxID() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.beginTx()
+	return fs.txID
+}
+
+// CommitUpTo is the group-commit form of CommitMeta: it returns once
+// transaction txid has committed. If a concurrent committer — the
+// group-commit leader, in jbd2 terms — already committed it, the call
+// returns immediately with no journal IO and no fences of its own; this
+// is how concurrent fsyncs of distinct files coalesce into one journal
+// transaction and one fence pair. Otherwise the caller becomes the
+// leader, waits for open batch handles to close, and commits.
+func (fs *FS) CommitUpTo(txid uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.doneTxID >= txid {
+		return nil
+	}
+	// awaitCommittable releases fs.mu while batch handles are open; a
+	// concurrent leader may commit our transaction in that window, so
+	// re-check afterwards rather than double-commit.
+	fs.awaitCommittable()
+	if fs.doneTxID >= txid {
+		return nil
+	}
+	if err := fs.commitTx(); err != nil {
+		return err
+	}
+	if fs.doneTxID < txid {
+		// Ids are monotone, so one successful commit of the running
+		// transaction covers txid — unless that transaction was consumed
+		// by an earlier failed commit. Surface that instead of spinning.
+		return fmt.Errorf("ext4dax: transaction %d cannot commit (committed through %d; lost to an earlier failed commit)", txid, fs.doneTxID)
+	}
+	return nil
+}
+
+// DoneTxID reports the highest committed transaction id (tests and
+// harness instrumentation).
+func (fs *FS) DoneTxID() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.doneTxID
+}
+
 // SetUserWatermark stores U-Split's log-sequence watermark in the inode.
 // It joins the running journal transaction, so a relink and its watermark
 // update commit atomically; the caller commits via CommitMeta.

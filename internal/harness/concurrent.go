@@ -234,6 +234,9 @@ func scalingExp() (*Table, error) {
 				kind, fmt.Sprint(threads),
 				f1(cur[0]), rel(0), f1(cur[1]), rel(1), f1(cur[2]), rel(2),
 			})
+			for i, wl := range []string{"appends", "reads", "wal_commits"} {
+				t.AddMetric(fmt.Sprintf("%s_%s_t%d", kind, wl, threads), cur[i], "kops/s-wall")
+			}
 		}
 	}
 	return t, nil

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+
+	"splitfs/internal/splitfs"
+	"splitfs/internal/vfs"
+)
+
+// The groupcommit experiment measures what the asynchronous relink
+// pipeline's jbd2-style group commit buys on the fsync path: N files
+// with staged appends are made durable either by N independent fsyncs
+// (each relink batch commits its own journal transaction) or by one
+// batched drain (GroupSync: all batches share a single transaction and
+// fence pair). Reported as journal commits per 1k appends and pmem
+// fences per fsync — batched must be strictly lower on both.
+
+func init() {
+	register("groupcommit", "Group-committed fsync: journal commits and fences, batched vs serial", groupCommitExp)
+}
+
+// GroupCommitResult is one measured configuration.
+type GroupCommitResult struct {
+	Kind    string
+	Batched bool
+	Files   int
+	Appends int // total appends across files
+	Commits int64
+	Fences  int64
+}
+
+// CommitsPer1kAppends normalizes journal commits to the paper-style
+// per-1k-operations rate.
+func (r GroupCommitResult) CommitsPer1kAppends() float64 {
+	if r.Appends == 0 {
+		return 0
+	}
+	return float64(r.Commits) * 1000 / float64(r.Appends)
+}
+
+// FencesPerFsync is pmem fences per durability request (one per file in
+// serial mode; the batch counts as one request per file here too, so
+// the two configurations are directly comparable).
+func (r GroupCommitResult) FencesPerFsync() float64 {
+	if r.Files == 0 {
+		return 0
+	}
+	return float64(r.Fences) / float64(r.Files)
+}
+
+// RunGroupCommit appends appendsPerFile 4K blocks to each of files
+// distinct files on a fresh instance of kind, then makes them durable
+// serially (fsync per file) or batched (one GroupSync), counting the
+// journal commits and device fences of the durability phase only.
+func RunGroupCommit(kind string, files, appendsPerFile, blockBytes int, batched bool) (GroupCommitResult, error) {
+	e, err := newEnv(kind, appDev)
+	if err != nil {
+		return GroupCommitResult{}, err
+	}
+	sfs, ok := e.fs.(*splitfs.FS)
+	if !ok {
+		return GroupCommitResult{}, fmt.Errorf("groupcommit: %s is not a splitfs instance", kind)
+	}
+	handles := make([]*splitfs.File, files)
+	blk := make([]byte, blockBytes)
+	for i := range handles {
+		f, err := vfs.Create(e.fs, fmt.Sprintf("/gc%02d", i))
+		if err != nil {
+			return GroupCommitResult{}, err
+		}
+		handles[i] = f.(*splitfs.File)
+		for a := 0; a < appendsPerFile; a++ {
+			if _, err := f.Write(blk); err != nil {
+				return GroupCommitResult{}, err
+			}
+		}
+	}
+	kstats0 := sfs.KFS().Stats()
+	dstats0 := e.dev.Stats()
+	if batched {
+		if err := sfs.GroupSync(handles...); err != nil {
+			return GroupCommitResult{}, err
+		}
+	} else {
+		for _, f := range handles {
+			if err := f.Sync(); err != nil {
+				return GroupCommitResult{}, err
+			}
+		}
+	}
+	kstats1 := sfs.KFS().Stats()
+	dstats1 := e.dev.Stats()
+	return GroupCommitResult{
+		Kind:    kind,
+		Batched: batched,
+		Files:   files,
+		Appends: files * appendsPerFile,
+		Commits: kstats1.Commits - kstats0.Commits,
+		Fences:  dstats1.Fences - dstats0.Fences,
+	}, nil
+}
+
+// groupCommitExp renders the batched-vs-serial comparison for the POSIX
+// and strict modes and attaches the machine-readable metrics the
+// BENCH_results.json trajectory tracks.
+func groupCommitExp() (*Table, error) {
+	const (
+		files          = 12
+		appendsPerFile = 16
+		blockBytes     = 4096
+	)
+	t := &Table{
+		ID:    "groupcommit",
+		Title: "Group-committed fsync (async relink pipeline)",
+		Note: fmt.Sprintf("%d files x %d 4K appends; serial = fsync per file, batched = one GroupSync drain "+
+			"(concurrent fsyncs coalesce the same way via CommitUpTo)", files, appendsPerFile),
+		Headers: []string{"File system", "Mode", "Journal commits", "Commits/1k appends", "Fences", "Fences/fsync"},
+	}
+	for _, kind := range []string{"splitfs-posix", "splitfs-strict"} {
+		for _, batched := range []bool{false, true} {
+			r, err := RunGroupCommit(kind, files, appendsPerFile, blockBytes, batched)
+			if err != nil {
+				return nil, fmt.Errorf("%s batched=%v: %w", kind, batched, err)
+			}
+			mode := "serial"
+			if batched {
+				mode = "batched"
+			}
+			t.Rows = append(t.Rows, []string{
+				kind, mode,
+				fmt.Sprint(r.Commits), f2(r.CommitsPer1kAppends()),
+				fmt.Sprint(r.Fences), f2(r.FencesPerFsync()),
+			})
+			t.AddMetric(fmt.Sprintf("%s_%s_commits_per_1k_appends", kind, mode),
+				r.CommitsPer1kAppends(), "commits/1k-appends")
+			t.AddMetric(fmt.Sprintf("%s_%s_fences_per_fsync", kind, mode),
+				r.FencesPerFsync(), "fences/fsync")
+		}
+	}
+	return t, nil
+}

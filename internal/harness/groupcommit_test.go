@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestGroupCommitBatchedStrictlyCheaper is the acceptance gate for the
+// async relink pipeline's group commit: making N files durable through
+// one batched drain must issue strictly fewer journal commits AND
+// strictly fewer pmem fences than N independent fsyncs, in both POSIX
+// and strict modes.
+func TestGroupCommitBatchedStrictlyCheaper(t *testing.T) {
+	for _, kind := range []string{"splitfs-posix", "splitfs-strict"} {
+		serial, err := RunGroupCommit(kind, 12, 16, 4096, false)
+		if err != nil {
+			t.Fatalf("%s serial: %v", kind, err)
+		}
+		batched, err := RunGroupCommit(kind, 12, 16, 4096, true)
+		if err != nil {
+			t.Fatalf("%s batched: %v", kind, err)
+		}
+		if serial.Commits == 0 {
+			t.Fatalf("%s serial run issued no journal commits", kind)
+		}
+		if batched.Commits >= serial.Commits {
+			t.Errorf("%s: batched commits %d not strictly fewer than serial %d",
+				kind, batched.Commits, serial.Commits)
+		}
+		if batched.Fences >= serial.Fences {
+			t.Errorf("%s: batched fences %d not strictly fewer than serial %d",
+				kind, batched.Fences, serial.Fences)
+		}
+		t.Logf("%s: commits %d -> %d, fences %d -> %d", kind,
+			serial.Commits, batched.Commits, serial.Fences, batched.Fences)
+	}
+}
+
+// TestGroupCommitExperimentMetrics verifies the registered experiment
+// runs and attaches the machine-readable metrics BENCH_results.json
+// reports, with batched strictly below serial.
+func TestGroupCommitExperimentMetrics(t *testing.T) {
+	e, ok := Get("groupcommit")
+	if !ok {
+		t.Fatal("groupcommit experiment not registered")
+	}
+	tbl, err := e.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	vals := map[string]float64{}
+	for _, m := range tbl.Metrics {
+		vals[m.Name] = m.Value
+	}
+	for _, kind := range []string{"splitfs-posix", "splitfs-strict"} {
+		for _, metric := range []string{"commits_per_1k_appends", "fences_per_fsync"} {
+			s, okS := vals[kind+"_serial_"+metric]
+			b, okB := vals[kind+"_batched_"+metric]
+			if !okS || !okB {
+				t.Fatalf("missing metric %s_{serial,batched}_%s in %v", kind, metric, vals)
+			}
+			if b >= s {
+				t.Errorf("%s %s: batched %.3f not strictly below serial %.3f", kind, metric, b, s)
+			}
+		}
+	}
+}

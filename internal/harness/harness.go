@@ -33,6 +33,23 @@ type Table struct {
 	Note    string
 	Headers []string
 	Rows    [][]string
+	// Metrics are the experiment's machine-readable results;
+	// cmd/splitbench serializes them (with the experiment id and git
+	// revision) into BENCH_results.json so the perf trajectory can be
+	// tracked across revisions.
+	Metrics []Metric
+}
+
+// Metric is one machine-readable measurement of an experiment.
+type Metric struct {
+	Name  string  `json:"metric"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// AddMetric appends a machine-readable measurement to the table.
+func (t *Table) AddMetric(name string, value float64, unit string) {
+	t.Metrics = append(t.Metrics, Metric{Name: name, Value: value, Unit: unit})
 }
 
 // Render writes the table in an aligned text format.

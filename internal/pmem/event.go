@@ -30,6 +30,7 @@ package pmem
 // unpersisted lines in sorted order so one seed always yields one image.
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,7 +49,14 @@ const (
 	evKinds
 )
 
-// String names the kind for reports.
+// Known reports whether the kind is one this package defines. Consumers
+// bucketing events by kind (coverage stats, summaries) must check this
+// and surface unknown kinds loudly instead of silently mis-bucketing
+// them — a new kind added here is a signal every table needs updating.
+func (k EventKind) Known() bool { return k < evKinds }
+
+// String names the kind for reports. Unknown kinds keep their numeric
+// value visible so they cannot be silently confused with known ones.
 func (k EventKind) String() string {
 	switch k {
 	case EvStore:
@@ -60,7 +68,48 @@ func (k EventKind) String() string {
 	case EvFence:
 		return "fence"
 	default:
-		return "event?"
+		return fmt.Sprintf("unknown-kind-%d", uint8(k))
+	}
+}
+
+// EventSource labels which execution context issued a persistence event.
+// The asynchronous relink pipeline runs stores, fences, and journal
+// commits from background stages; tagging events with their source lets
+// the crash harness's coverage stats distinguish foreground syscall
+// events from pipeline events, and lets traces document that a replayed
+// schedule pinned the background work deterministically (the pipeline's
+// single-drain mode). The source is device-global state: it is only
+// meaningful under deterministic single-threaded drain, which is the
+// only mode record/replay supports anyway.
+type EventSource uint8
+
+const (
+	// SrcForeground is the default: the event came from the thread
+	// executing the workload's syscall.
+	SrcForeground EventSource = iota
+	// SrcRelinkWorker marks events issued while a relink-pipeline drain
+	// (background relink + group commit) was executing.
+	SrcRelinkWorker
+	// SrcReclaim marks events issued by epoch-based staging-file
+	// reclamation (unmap, unlink of retired staging files).
+	SrcReclaim
+	evSources
+)
+
+// Known reports whether the source is one this package defines.
+func (s EventSource) Known() bool { return s < evSources }
+
+// String names the source for reports.
+func (s EventSource) String() string {
+	switch s {
+	case SrcForeground:
+		return "fg"
+	case SrcRelinkWorker:
+		return "relink"
+	case SrcReclaim:
+		return "reclaim"
+	default:
+		return fmt.Sprintf("unknown-src-%d", uint8(s))
 	}
 }
 
@@ -68,6 +117,7 @@ func (k EventKind) String() string {
 type Event struct {
 	Seq  int64 // 1-based monotone sequence number
 	Kind EventKind
+	Src  EventSource  // execution context (foreground, relink worker, ...)
 	Cat  sim.Category // clock category of the triggering operation
 	Off  int64        // affected device range (zero-length for fences)
 	Len  int64
@@ -111,6 +161,26 @@ func (ev *eventState) refreshHooks() {
 
 // Events returns the number of persistence events so far.
 func (d *Device) Events() int64 { return d.events.Load() }
+
+// SetEventSource sets the source label attached to subsequent persistence
+// events and returns the previous one, so pipeline stages can bracket
+// their work:
+//
+//	prev := dev.SetEventSource(pmem.SrcRelinkWorker)
+//	defer dev.SetEventSource(prev)
+//
+// The label is device-global; with concurrent foreground and background
+// activity it is best-effort. Record/replay requires the deterministic
+// single-drain pipeline mode, where exactly one goroutine issues events
+// at a time and the label is exact.
+func (d *Device) SetEventSource(s EventSource) EventSource {
+	return EventSource(d.evSrc.Swap(uint32(s)))
+}
+
+// EventSourceNow returns the current event-source label.
+func (d *Device) EventSourceNow() EventSource {
+	return EventSource(d.evSrc.Load())
+}
 
 // EventStats returns the per-kind event counts.
 func (d *Device) EventStats() EventStats {
@@ -200,7 +270,8 @@ func (d *Device) event(kind EventKind, cat sim.Category, off, n int64) {
 	}
 	d.ev.mu.Lock()
 	if d.ev.tracing {
-		d.ev.trace = append(d.ev.trace, Event{Seq: seq, Kind: kind, Cat: cat, Off: off, Len: n})
+		d.ev.trace = append(d.ev.trace, Event{Seq: seq, Kind: kind,
+			Src: EventSource(d.evSrc.Load()), Cat: cat, Off: off, Len: n})
 	}
 	fire := d.ev.armedAt != 0 && seq == d.ev.armedAt
 	rng := d.ev.rng

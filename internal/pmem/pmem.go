@@ -122,9 +122,11 @@ type Device struct {
 
 	// Persistence-event machinery (event.go). events is the monotone
 	// event counter; frozen means an armed crash point has been reached
-	// and the durable shadow must no longer change.
+	// and the durable shadow must no longer change. evSrc labels events
+	// with the execution context that issued them (SetEventSource).
 	events atomic.Int64
 	evKind [evKinds]atomic.Int64
+	evSrc  atomic.Uint32
 	frozen atomic.Bool
 	ev     eventState
 

@@ -1,0 +1,335 @@
+package splitfs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+// newAsyncEnv builds an instance with background relink workers.
+func newAsyncEnv(t testing.TB, mode Mode, workers int) (*pmem.Device, *FS) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Clock: sim.NewClock(),
+		TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{JournalBlocks: 128, MaxInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(kfs, Config{
+		Mode:             mode,
+		StagingFiles:     4,
+		StagingFileBytes: 2 << 20,
+		OpLogBytes:       1 << 20,
+		RelinkWorkers:    workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.pipeline.stop() })
+	return dev, fs
+}
+
+// TestConcurrentFsyncGroupCommitRace hammers concurrent fsyncs of
+// distinct files through background relink workers and group commit —
+// the race test the CI matrix runs under -race. Every worker's data must
+// be intact and durable afterwards.
+func TestConcurrentFsyncGroupCommitRace(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, fs := newAsyncEnv(t, mode, 3)
+			const (
+				threads = 6
+				rounds  = 40
+			)
+			var wg sync.WaitGroup
+			errs := make(chan error, threads)
+			for g := 0; g < threads; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					path := fmt.Sprintf("/gc%02d", g)
+					f, err := vfs.Create(fs, path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					blk := bytes.Repeat([]byte{byte(g + 1)}, 1024)
+					for i := 0; i < rounds; i++ {
+						if _, err := f.Write(blk); err != nil {
+							errs <- fmt.Errorf("%s write %d: %w", path, i, err)
+							return
+						}
+						if err := f.Sync(); err != nil {
+							errs <- fmt.Errorf("%s fsync %d: %w", path, i, err)
+							return
+						}
+					}
+					errs <- f.Close()
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for g := 0; g < threads; g++ {
+				data, err := vfs.ReadFile(fs, fmt.Sprintf("/gc%02d", g))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(data) != rounds*1024 {
+					t.Fatalf("file %d: %d bytes, want %d", g, len(data), rounds*1024)
+				}
+				for i, b := range data {
+					if b != byte(g+1) {
+						t.Fatalf("file %d: byte %d corrupted (%d)", g, i, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupSyncCoalescesCommits asserts the deterministic batched drain:
+// one GroupSync over N dirty files issues exactly one journal commit,
+// against N for serial fsyncs on an identical instance.
+func TestGroupSyncCoalescesCommits(t *testing.T) {
+	run := func(batched bool) (commits int64) {
+		_, fs := newEnv(t, POSIX)
+		var handles []*File
+		blk := make([]byte, 4096)
+		for i := 0; i < 8; i++ {
+			f, err := vfs.Create(fs, fmt.Sprintf("/f%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for a := 0; a < 4; a++ {
+				if _, err := f.Write(blk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			handles = append(handles, f.(*File))
+		}
+		before := fs.KFS().Stats().Commits
+		if batched {
+			if err := fs.GroupSync(handles...); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, f := range handles {
+				if err := f.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return fs.KFS().Stats().Commits - before
+	}
+	serial, grouped := run(false), run(true)
+	if serial != 8 {
+		t.Fatalf("serial fsyncs committed %d times, want 8", serial)
+	}
+	if grouped != 1 {
+		t.Fatalf("GroupSync committed %d times, want 1", grouped)
+	}
+}
+
+// TestStagingEpochReclamation exhausts staging files and verifies the
+// epoch reclaimer unmaps and unlinks them once their staged data has
+// relinked and the grace period has elapsed — and that reads through the
+// surviving overlay stay correct throughout.
+func TestStagingEpochReclamation(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Clock: sim.NewClock(),
+		TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{JournalBlocks: 128, MaxInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny staging files so appends exhaust them quickly.
+	fs, err := New(kfs, Config{
+		Mode:              POSIX,
+		StagingFiles:      2,
+		StagingFileBytes:  256 << 10,
+		StagingChunkBytes: 64 << 10,
+		OpLogBytes:        1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.Create(fs, "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := make([]byte, 32<<10)
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	// Write + fsync enough to chew through several staging files.
+	for i := 0; i < 64; i++ {
+		if _, err := f.Write(blk); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 3 {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.StagingFilesReclaimed(); got == 0 {
+		t.Fatalf("no staging files reclaimed after %d staged bytes", 64*len(blk))
+	}
+	// Reclaimed files must be gone from the staging directory.
+	ents, err := fs.KFS().ReadDir("/.splitfs-staging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := len(ents); live > 6 {
+		t.Fatalf("staging dir still holds %d files after reclamation", live)
+	}
+	// Content stays intact.
+	data, err := vfs.ReadFile(fs, "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 64*len(blk) {
+		t.Fatalf("size %d, want %d", len(data), 64*len(blk))
+	}
+	for i := 0; i < len(data); i += len(blk) {
+		if !bytes.Equal(data[i:i+len(blk)], blk) {
+			t.Fatalf("block at %d corrupted", i)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRacesPipelineDrains hammers strict-mode writers whose
+// op log fills constantly (checkpoints under wmu sweep and reset the
+// log) against concurrent fsyncs draining on background workers, then
+// crashes and recovers: every byte every writer completed must survive.
+// This covers the checkpoint/drain interaction — a checkpoint must
+// commit the running journal transaction before zeroing the log so an
+// in-flight drain's relink can never be rolled back after its entries
+// are gone.
+func TestCheckpointRacesPipelineDrains(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Clock: sim.NewClock(),
+		TrackPersistence: true})
+	kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{JournalBlocks: 128, MaxInodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(kfs, Config{
+		Mode:             Strict,
+		StagingFiles:     4,
+		StagingFileBytes: 4 << 20,
+		OpLogBytes:       64 << 10, // tiny: checkpoints fire constantly
+		RelinkWorkers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		threads = 4
+		rounds  = 60
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			f, err := vfs.Create(fs, fmt.Sprintf("/ck%02d", g))
+			if err != nil {
+				errs <- err
+				return
+			}
+			blk := bytes.Repeat([]byte{byte(g + 1)}, 512)
+			for i := 0; i < rounds; i++ {
+				if _, err := f.Write(blk); err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					if err := f.Sync(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- f.Close()
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Crash(nil); err != nil {
+		t.Fatal(err)
+	}
+	kfs2, _, err := ext4dax.Mount(dev, ext4dax.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, err := RecoverFS(kfs2, Config{Mode: Strict, StagingFiles: 4,
+		StagingFileBytes: 4 << 20, OpLogBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < threads; g++ {
+		data, err := vfs.ReadFile(fs2, fmt.Sprintf("/ck%02d", g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != rounds*512 {
+			t.Fatalf("file %d: %d bytes survived, want %d", g, len(data), rounds*512)
+		}
+		for i, b := range data {
+			if b != byte(g+1) {
+				t.Fatalf("file %d: byte %d corrupted (%d)", g, i, b)
+			}
+		}
+	}
+}
+
+// TestPipelineCoalescesQueuedFsyncs checks per-ofile request coalescing:
+// a queued (not yet drained) request absorbs later fsyncs of the same
+// file, so both waiters complete from one relink batch.
+func TestPipelineCoalescesQueuedFsyncs(t *testing.T) {
+	_, fs := newEnv(t, POSIX)
+	f, err := vfs.Create(fs, "/one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := f.(*File).of
+	r1 := fs.pipeline.enqueue(of)
+	r2 := fs.pipeline.enqueue(of)
+	if r1 != r2 {
+		t.Fatal("queued requests for one ofile did not coalesce")
+	}
+	fs.pipeline.drainUntil(r1)
+	select {
+	case <-r2.done:
+	default:
+		t.Fatal("coalesced request not completed by the drain")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

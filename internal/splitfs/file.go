@@ -100,10 +100,16 @@ func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
 		kf.Close()
 		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
 			of.mu.Lock()
+			dropped := of.staged
+			oldActive := of.active
 			of.staged = nil
 			of.active = nil
 			of.size, of.ksize = 0, 0
 			of.mu.Unlock()
+			// The truncated-away overlay and append chunk release their
+			// staging-file references (the data is dropped, not relinked).
+			fs.staging.release(dropped)
+			fs.staging.releaseChunk(oldActive)
 			fs.mmaps.drop(of.ino)
 			// Dropped staged writes must not be resurrected by replay.
 			if fs.olog != nil {
@@ -256,9 +262,17 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	for i := n; i < len(p); i++ {
 		p[i] = 0
 	}
-	// Patch staged ranges (oldest first; later writes win).
+	// Patch staged ranges (oldest first; later writes win). The epoch pin
+	// brackets every access through a staging-file mapping: the reclaimer
+	// will not unmap a retired staging file until all pins from this
+	// epoch (and earlier) have been released.
+	overlaps := of.overlaps(off, int64(len(p)))
+	if len(overlaps) > 0 {
+		e := fs.staging.pin()
+		defer fs.staging.unpin(e)
+	}
 	end := off + int64(len(p))
-	for _, s := range of.overlaps(off, int64(len(p))) {
+	for _, s := range overlaps {
 		lo, hi := s.fileOff, s.fileOff+s.length
 		if lo < off {
 			lo = off
@@ -405,17 +419,24 @@ func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 		// appends form one relinkable run; staged overwrites reserve
 		// exactly their footprint.
 		exact := off+need <= of.size
-		var err error
-		c, err = fs.staging.reserve(need, off, exact)
+		nc, err := fs.staging.reserve(need, off, exact)
 		if err != nil {
 			return 0, err
 		}
+		// The replaced chunk's staging-file reference is dropped; staged
+		// ranges still inside it hold their own references.
+		fs.staging.releaseChunk(of.active)
+		c = nc
 		of.active = c
 	}
 	sfOff := c.base + c.used
 	c.sf.m.StoreNT(p, sfOff)
 	c.used += need
-	of.addStaged(stagedRange{fileOff: off, length: need, sf: c.sf, sfOff: sfOff})
+	if of.addStaged(stagedRange{fileOff: off, length: need, sf: c.sf, sfOff: sfOff}) {
+		// A new overlay entry references the staging file; merged appends
+		// extend the existing entry and its existing reference.
+		fs.staging.addRangeRef(c.sf)
+	}
 	if end := off + need; end > of.size {
 		of.size = end
 	}
@@ -426,6 +447,7 @@ func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 		// reject it if the shared fence never completed and the data tore.
 		fs.clk.Charge(sim.CatCPU, sim.ChargeBytes(len(p), sim.ChecksumPsPerByte))
 		fs.opSeq++
+		of.logSeq = fs.opSeq
 		fs.appendLog(of, encWriteEntry(uint32(of.ino), off, uint32(need),
 			uint32(c.sf.kf.Ino()), sfOff, fs.opSeq, stagedSum(p)))
 	case Sync:
@@ -476,17 +498,19 @@ func (f *File) Truncate(size int64) error {
 	return fs.syncMeta()
 }
 
-// Sync is fsync(2): relink staged data into the target file (§3.4).
+// Sync is fsync(2): relink staged data into the target file (§3.4),
+// through the asynchronous relink pipeline — the call returns once this
+// file's relink batch has group-committed, and concurrent fsyncs of
+// distinct files coalesce into one journal transaction and fence pair.
+// No strict-mode writer lock is needed: the relink watermark is the
+// file's own logSeq, independent of the global op sequence.
 func (f *File) Sync() error {
 	fs := f.fs
-	defer fs.lockStrict()()
 	if f.closed.Load() {
 		return vfs.ErrClosed
 	}
 	fs.bookkeep()
-	f.of.mu.Lock()
-	defer f.of.mu.Unlock()
-	return fs.relinkLocked(f.of)
+	return fs.pipeline.syncFile(f.of)
 }
 
 // Close decrements the shared description; staged data is relinked when
@@ -539,6 +563,14 @@ func (f *File) Close() error {
 	if !closeKF {
 		return nil // a concurrent re-open adopted the description
 	}
+	// The retiring description's active append chunk drops its
+	// staging-file reference so the file can eventually be reclaimed
+	// (staged data was relinked above, so the chunk holds nothing live).
+	of.mu.Lock()
+	act := of.active
+	of.active = nil
+	of.mu.Unlock()
+	fs.staging.releaseChunk(act)
 	return of.kf.Close()
 }
 

@@ -1,6 +1,8 @@
 package splitfs
 
 import (
+	"sort"
+
 	"splitfs/internal/vfs"
 )
 
@@ -214,10 +216,19 @@ func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	return out, nil
 }
 
-// SyncAll relinks every open file's staged data (shutdown path).
+// SyncAll relinks every open file's staged data (shutdown path, and the
+// multi-file fsync of the group-commit benchmark): all files drain
+// through the relink pipeline as one batch, sharing a single journal
+// commit, in deterministic inode order.
 func (fs *FS) SyncAll() error {
-	defer fs.lockStrict()()
-	if err := fs.relinkAll(nil); err != nil {
+	fs.mu.RLock()
+	all := make([]*ofile, 0, len(fs.files))
+	for _, of := range fs.files {
+		all = append(all, of)
+	}
+	fs.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].ino < all[j].ino })
+	if err := fs.pipeline.groupSync(all); err != nil {
 		return err
 	}
 	fs.dev.Fence()

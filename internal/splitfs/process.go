@@ -43,9 +43,24 @@ func (fs *FS) Fork() *FS {
 			ksize:  of.ksize,
 			staged: append([]stagedRange(nil), of.staged...),
 			active: of.active,
+			logSeq: of.logSeq,
 			refs:   of.refs,
 		}
 		of.mu.RUnlock()
+		// The child's copied overlay and active chunk are independent
+		// references into the shared staging pool: without their own
+		// counts, the first side to relink would let the reclaimer unmap
+		// staging files the other still reads.
+		fs.staging.mu.Lock()
+		for _, s := range cp.staged {
+			if s.sf != nil {
+				s.sf.refs++
+			}
+		}
+		if cp.active != nil {
+			cp.active.sf.refs++
+		}
+		fs.staging.mu.Unlock()
 		child.files[ino] = cp
 	}
 	fs.amu.Lock()
@@ -53,6 +68,7 @@ func (fs *FS) Fork() *FS {
 		child.attrs[p] = info
 	}
 	fs.amu.Unlock()
+	child.pipeline = newRelinkPipeline(child, child.cfg.RelinkWorkers)
 	return child
 }
 

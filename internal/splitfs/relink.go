@@ -7,29 +7,55 @@ import (
 	"splitfs/internal/sim"
 )
 
-// relinkLocked applies a file's staged ranges to the target file (§3.4):
-// block-aligned runs move by relink (no data copy); unaligned head/tail
-// bytes are copied through the kernel, as the paper prescribes for
-// partial blocks. Every step joins one K-Split journal transaction, and
-// fs.rmu is held across the batch so the whole fsync commits atomically
-// even with concurrent relinks of other files. Caller holds of.mu (and
-// wmu in strict mode).
+// relinkLocked applies a file's staged ranges to the target file and
+// group-commits the batch: the inline form used by truncate, rename
+// flushes, close, and checkpoints. fsync instead routes through the
+// relink pipeline (async.go), which runs the same steps but can batch
+// several files into one commit. Caller holds of.mu.
+func (fs *FS) relinkLocked(of *ofile) error {
+	txid, released, err := fs.relinkStepsLocked(of)
+	if err != nil {
+		return err
+	}
+	if err := fs.kfs.CommitUpTo(txid); err != nil {
+		return err
+	}
+	fs.staging.release(released)
+	return nil
+}
+
+// relinkStepsLocked performs a file's relink batch WITHOUT committing the
+// journal transaction (§3.4): block-aligned runs move by relink (no data
+// copy); unaligned head/tail bytes are copied through the kernel, as the
+// paper prescribes for partial blocks. Every step joins one K-Split
+// journal transaction, pinned open by a batch handle so no concurrent
+// journal user can commit it half applied; concurrent batches of
+// distinct files share the transaction and group-commit together.
+//
+// It returns the id of the journal transaction the batch joined — the
+// caller makes the batch durable with kfs.CommitUpTo(txid) — and the
+// staged ranges consumed, whose staging-pool references the caller
+// releases after that commit (recovery may need the staged bytes until
+// the relink is durable). U-Split's volatile view (sizes, mappings,
+// attributes) is updated here, under of.mu, so readers stay consistent
+// even though durability arrives later. Caller holds of.mu.
 //
 // Recovery safety needs no markers: each strict-mode log entry names its
 // staging range, and relink punches exactly the block-aligned ranges it
 // moved. Replay re-applies an entry only if its staging range is still
 // allocated; punched ranges mean the relink transaction committed.
 // Copy-only (sub-block) entries are idempotent to re-apply.
-func (fs *FS) relinkLocked(of *ofile) error {
+func (fs *FS) relinkStepsLocked(of *ofile) (txid uint64, released []stagedRange, err error) {
 	if len(of.staged) == 0 {
 		// Nothing staged: fence outstanding stores (in-place overwrites in
-		// POSIX mode) and commit the running journal transaction — fsync
-		// promises durability of the file's metadata too, so an earlier
-		// truncate or allocating write must not be lost. An empty
-		// transaction commits for free. (Found by the persistence-event
-		// crash sweep: truncate + fsync + crash lost the truncate.)
+		// POSIX mode) and have the caller commit the running journal
+		// transaction — fsync promises durability of the file's metadata
+		// too, so an earlier truncate or allocating write must not be
+		// lost. An empty transaction commits for free. (Found by the
+		// persistence-event crash sweep: truncate + fsync + crash lost
+		// the truncate.)
 		fs.dev.Fence()
-		return fs.kfs.CommitMeta()
+		return fs.kfs.TxID(), nil, nil
 	}
 	staged := of.staged
 	of.staged = nil
@@ -40,13 +66,10 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	// would burn one chunk per fsync.
 	fs.stats.relinks.Add(1)
 
-	fs.rmu.Lock()
-	defer fs.rmu.Unlock()
-
 	if fs.cfg.DisableRelink {
 		// Fig 3 ablation: staging without relink — copy everything
-		// through the kernel on fsync.
-		return fs.copyStaged(of, staged)
+		// through the kernel on fsync (committing internally).
+		return fs.kfs.TxID(), staged, fs.copyStaged(of, staged)
 	}
 
 	// Hold a K-Split batch handle across the steps: while it is open, no
@@ -80,7 +103,7 @@ func (fs *FS) relinkLocked(of *ofile) error {
 			// DRAM-staged data has no PM blocks to relink: copy it all
 			// (§4: this copy is why DRAM staging loses).
 			if err := fs.copyRange(of, s, a, b); err != nil {
-				return err
+				return 0, nil, err
 			}
 			continue
 		}
@@ -96,20 +119,20 @@ func (fs *FS) relinkLocked(of *ofile) error {
 				stop = b
 			}
 			if err := fs.copyRange(of, s, a, stop); err != nil {
-				return err
+				return 0, nil, err
 			}
 		}
 		if tail > head {
 			err := fs.kfs.RelinkStep(s.sf.kf, of.kf,
 				s.sfOff+(head-s.fileOff), head, tail-head, of.size)
 			if err != nil {
-				return fmt.Errorf("relinkstep a=%d b=%d head=%d tail=%d sfOff=%d: %w", a, b, head, tail, s.sfOff, err)
+				return 0, nil, fmt.Errorf("relinkstep a=%d b=%d head=%d tail=%d sfOff=%d: %w", a, b, head, tail, s.sfOff, err)
 			}
 			fs.stats.relinkBlocks.Add((tail - head) / sim.BlockSize)
 		}
 		if b > tail && tail >= head {
 			if err := fs.copyRange(of, s, tail, b); err != nil {
-				return err
+				return 0, nil, err
 			}
 		}
 	}
@@ -117,17 +140,19 @@ func (fs *FS) relinkLocked(of *ofile) error {
 	// transaction: every log entry for this file with seq <= watermark is
 	// now covered by the relink, and recovery must not replay it (an
 	// older copy-only entry replayed over newer relinked data would
-	// corrupt the file).
+	// corrupt the file). The watermark is the file's own highest logged
+	// sequence — not the global op sequence — so relinks (including
+	// background pipeline drains) never need the strict-mode writer lock.
 	if fs.olog != nil {
-		of.kf.SetUserWatermark(fs.opSeq)
+		of.kf.SetUserWatermark(of.logSeq)
 	}
-	// One commit makes the whole batch atomic (the relink ioctl's
-	// journal transaction). The handle closes first: a complete batch is
-	// safe for anyone to commit.
+	// Capture the transaction id while the batch handle is still open (the
+	// transaction cannot commit, so the id covers every note the batch
+	// made), then close the handle: a complete batch is safe for anyone to
+	// commit, and the caller's CommitUpTo(txid) — or any concurrent
+	// group-commit leader — makes the whole batch atomic at once.
+	txid = fs.kfs.TxID()
 	endBatch()
-	if err := fs.kfs.CommitMeta(); err != nil {
-		return err
-	}
 	// The modified ioctl keeps existing memory mappings valid across the
 	// swap (§3.5); staged ranges were written through staging-file
 	// mappings that remain valid too. Refresh both at no fault cost.
@@ -138,7 +163,7 @@ func (fs *FS) relinkLocked(of *ofile) error {
 		of.ksize = of.size
 	}
 	fs.setAttrSize(of, of.size)
-	return nil
+	return txid, staged, nil
 }
 
 // relinkPiece is a maximal sub-range [a, b) of one staged range that no
@@ -195,7 +220,7 @@ func (fs *FS) setAttrSize(of *ofile, size int64) {
 }
 
 // copyRange copies staged bytes [a, b) through the kernel write path (the
-// partial-block copy of §3.3). Caller holds of.mu and fs.rmu.
+// partial-block copy of §3.3). Caller holds of.mu.
 func (fs *FS) copyRange(of *ofile, s stagedRange, a, b int64) error {
 	buf := make([]byte, b-a)
 	if s.dram != nil {
@@ -220,7 +245,7 @@ func (fs *FS) copyStaged(of *ofile, staged []stagedRange) error {
 		}
 	}
 	if fs.olog != nil {
-		of.kf.SetUserWatermark(fs.opSeq)
+		of.kf.SetUserWatermark(of.logSeq)
 	}
 	if err := of.kf.Sync(); err != nil {
 		return err
@@ -232,12 +257,13 @@ func (fs *FS) copyStaged(of *ofile, staged []stagedRange) error {
 	return nil
 }
 
-// relinkAll relinks every open file that has staged data (checkpoint,
-// shutdown, and pre-exec paths). owner, when non-nil, is an ofile whose
-// mu the caller already holds; it is relinked without re-locking. Safe
-// to sweep multiple ofiles because every caller either holds wmu
-// (strict mode) or runs on a shutdown-style path where writers are
-// quiescent; per-file readers are unaffected.
+// relinkAll relinks every open file that has staged data, inline and one
+// commit per file — the checkpoint path, which runs under wmu while (in
+// the log-full case) already holding one file's mu, and therefore cannot
+// detour through the pipeline queue. owner, when non-nil, is an ofile
+// whose mu the caller already holds; it is relinked without re-locking.
+// Shutdown-style multi-file syncs use FS.SyncAll, which batches through
+// the pipeline instead.
 func (fs *FS) relinkAll(owner *ofile) error {
 	fs.mu.RLock()
 	all := make([]*ofile, 0, len(fs.files))
@@ -277,6 +303,17 @@ func (fs *FS) relinkAll(owner *ofile) error {
 func (fs *FS) checkpoint(owner *ofile) {
 	if err := fs.relinkAll(owner); err != nil {
 		panic("splitfs: checkpoint relink failed: " + err.Error())
+	}
+	// A concurrent pipeline drain may have popped a file's staged ranges
+	// (so relinkAll skipped it) with its relink batch complete but its
+	// group commit still pending. The pop-to-batch-close window runs
+	// entirely under that file's mu — which relinkAll just held — so by
+	// now any such relink's notes and watermark sit in the running
+	// journal transaction: commit it before zeroing the log, or a crash
+	// could find the entries gone AND the relink rolled back, losing
+	// completed strict-mode writes.
+	if err := fs.kfs.CommitMeta(); err != nil {
+		panic("splitfs: checkpoint commit failed: " + err.Error())
 	}
 	fs.olog.reset()
 	fs.stats.checkpoints.Add(1)

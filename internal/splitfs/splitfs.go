@@ -95,6 +95,18 @@ type Config struct {
 	// benefit"). fsync must then copy every byte through the kernel.
 	// Only meaningful for POSIX mode; it forfeits strict-mode recovery.
 	StageInDRAM bool
+	// RelinkWorkers selects how the asynchronous relink pipeline drains
+	// (see DESIGN.md, "Asynchronous relink pipeline"):
+	//
+	//	0 (default) — deterministic single-drain: fsync enqueues its file
+	//	  and the calling goroutine drains the whole queue itself, so a
+	//	  single-threaded run produces a bit-identical persistence-event
+	//	  stream every time. The crash harness's record/replay depends on
+	//	  this mode to pin "worker" scheduling.
+	//	N > 0 — N background worker goroutines drain the queue; fsync
+	//	  blocks only until its file's relink batch has group-committed.
+	//	  Event numbering is interleaving-dependent in this mode.
+	RelinkWorkers int
 }
 
 func (c *Config) fill() {
@@ -148,19 +160,25 @@ type fsStats struct {
 //
 // Lock hierarchy, outermost first (full discussion in DESIGN.md):
 //
-//		wmu → mu → ofile.mu → rmu → {amu, stagingPool.mu, mmapCache.mu}
+//		wmu → pipeline.mu → mu → ofile.mu → {amu, stagingPool.mu, mmapCache.mu}
 //		    → ext4dax locks → pmem shard locks
 //
 //	  - wmu serializes strict-mode mutating operations: the shared
 //	    operation log orders entries by a monotone sequence that the relink
 //	    watermark is compared against, so log appends and the staged-state
 //	    changes they describe must be mutually ordered.
+//	  - pipeline.mu guards only the relink queue (enqueue/pop); it is
+//	    never held across relink work.
 //	  - mu guards only the open-file table (files map and refcounts).
 //	  - ofile.mu (read/write) guards one file's staged overlay and sizes;
 //	    reads and staged appends to different files never share a lock.
-//	  - rmu serializes relink batches so each fsync's RelinkStep sequence
-//	    commits as one journal transaction.
 //	  - amu guards the attribute cache.
+//
+// Relink batches of distinct files no longer take a process-wide lock
+// (PR 1's rmu): each batch holds a K-Split batch handle, which pins the
+// shared running journal transaction open, and group commit (one leader
+// commits the transaction for every batch that joined it) preserves
+// per-batch atomicity — jbd2's "many handles, one transaction" rule.
 type FS struct {
 	kfs  *ext4dax.FS
 	dev  *pmem.Device
@@ -176,7 +194,7 @@ type FS struct {
 	amu   sync.Mutex // attribute cache
 	attrs map[string]vfs.FileInfo
 
-	rmu sync.Mutex // relink batch atomicity (one fsync = one journal tx)
+	pipeline *relinkPipeline // asynchronous relink + group commit
 
 	staging *stagingPool
 	mmaps   *mmapCache
@@ -202,6 +220,13 @@ type ofile struct {
 	ksize  int64 // K-Split's view (what has been relinked)
 	staged []stagedRange
 	active *stagingChunk // current append region
+	// logSeq is the highest strict-mode op-log sequence logged for this
+	// file (guarded by mu, written under mu+wmu). A relink advances the
+	// inode's recovery watermark to exactly this value, which covers
+	// every entry the relink absorbs without the relink needing wmu —
+	// that independence is what lets background pipeline workers relink
+	// without serializing against strict-mode writers.
+	logSeq uint64
 
 	refs     int  // open handles; guarded by FS.mu
 	kfClosed bool // kernel handle retired (unique last closer); FS.mu
@@ -247,7 +272,17 @@ func New(kfs *ext4dax.FS, cfg Config) (*FS, error) {
 	if err := kfs.CommitMeta(); err != nil {
 		return nil, err
 	}
+	fs.pipeline = newRelinkPipeline(fs, cfg.RelinkWorkers)
 	return fs, nil
+}
+
+// Close drains the relink pipeline and stops its background workers.
+// Instances with RelinkWorkers == 0 have no goroutines to stop, but
+// closing is still the polite shutdown (it flushes queued relinks).
+func (fs *FS) Close() error {
+	err := fs.SyncAll()
+	fs.pipeline.stop()
+	return err
 }
 
 // Name implements vfs.FileSystem.
@@ -337,15 +372,19 @@ func (of *ofile) overlaps(off, n int64) []stagedRange {
 
 // addStaged records a staged write, merging with the previous range when
 // both file offsets and staging bytes are contiguous (consecutive appends
-// into one relink run). Caller holds of.mu.
-func (of *ofile) addStaged(r stagedRange) {
+// into one relink run). Returns true when a new overlay entry was
+// appended (the caller then takes a staging-file reference for it) and
+// false when the write merged into the previous entry. Caller holds
+// of.mu.
+func (of *ofile) addStaged(r stagedRange) bool {
 	if n := len(of.staged); n > 0 {
 		last := &of.staged[n-1]
 		if last.fileOff+last.length == r.fileOff &&
 			last.sf == r.sf && last.sfOff+last.length == r.sfOff {
 			last.length += r.length
-			return
+			return false
 		}
 	}
 	of.staged = append(of.staged, r)
+	return true
 }

@@ -16,10 +16,20 @@ const stagingDir = "/.splitfs-staging"
 // staged writes are pure user-space stores.
 type stagingFile struct {
 	id   int
+	path string
 	kf   *ext4dax.File
 	m    *ext4dax.Mapping
 	size int64
 	tail int64 // next unreserved byte
+
+	// refs counts live references: one per stagedRange entry recorded in
+	// an ofile overlay, plus one per ofile whose active append chunk
+	// lives in this file. sealed marks a file the allocator has moved
+	// past (no new reservations). A sealed file whose refs reach zero is
+	// retired into the epoch reclaimer's limbo and eventually unmapped,
+	// closed, and unlinked off the hot path. Both guarded by pool.mu.
+	refs   int
+	sealed bool
 }
 
 // stagingChunk is a reservation inside a staging file, aligned so that
@@ -42,16 +52,35 @@ type stagingPool struct {
 	mu      sync.Mutex
 	ready   []*stagingFile
 	current *stagingFile
-	retired []*stagingFile // used up; mapping + handle stay live for the process
 	nextID  int
 	created int // files created after startup ("background thread" work)
+
+	// Epoch-based reclamation of retired staging files (DESIGN.md,
+	// "Epoch-based staging reclamation"). Refcounts establish when a
+	// sealed file's staged data is fully relinked; the epoch grace
+	// period additionally guarantees no reader still holds a pointer it
+	// translated through the file's mapping in an earlier critical
+	// section. Readers pin the current epoch around staged-overlay
+	// access; a file retired at epoch E is reclaimed only once every pin
+	// taken at epoch <= E has been released and the epoch has advanced.
+	epoch     uint64
+	pins      map[uint64]int // active pins per epoch
+	sealed    []*stagingFile // sealed, still referenced by overlays/chunks
+	limbo     []limboFile
+	reclaimed int // staging files unmapped+unlinked by the reclaimer
+}
+
+// limboFile is a retired staging file awaiting its grace period.
+type limboFile struct {
+	sf    *stagingFile
+	epoch uint64 // epoch at retirement
 }
 
 func newStagingPool(fs *FS) (*stagingPool, error) {
 	if fs.kfs == nil {
 		return nil, fmt.Errorf("splitfs: staging pool needs a mounted K-Split")
 	}
-	p := &stagingPool{fs: fs}
+	p := &stagingPool{fs: fs, pins: make(map[uint64]int)}
 	if err := fs.kfs.Mkdir(stagingDir, 0700); err != nil {
 		// Directory may already exist when several U-Split instances
 		// share one K-Split.
@@ -95,7 +124,7 @@ func (p *stagingPool) createFile() (*stagingFile, error) {
 	if err := p.fs.kfs.CommitMeta(); err != nil {
 		return nil, err
 	}
-	return &stagingFile{id: id, kf: kf, m: m, size: p.fs.cfg.StagingFileBytes}, nil
+	return &stagingFile{id: id, path: path, kf: kf, m: m, size: p.fs.cfg.StagingFileBytes}, nil
 }
 
 // reserve hands out a chunk whose base is congruent to align (mod 4 KB).
@@ -137,16 +166,131 @@ func (p *stagingPool) reserve(n, align int64, exact bool) (*stagingChunk, error)
 		base += align % sim.BlockSize
 		if base+want <= sf.size {
 			sf.tail = base + want
+			// The chunk holds a reference for as long as an ofile keeps it
+			// as its active append region (released via releaseChunk).
+			sf.refs++
 			return &stagingChunk{sf: sf, base: base, end: base + want}, nil
 		}
 		// Staging file used up; move to the next. The exhausted file is
-		// not reclaimed — staged ranges may still reference it, and its
-		// mapping and kernel handle stay open for the process lifetime —
-		// so it moves to the retired list, which memoryUsage still counts.
-		p.retired = append(p.retired, sf)
+		// sealed: no new reservations, and once its last staged range and
+		// active chunk release their references it enters the epoch
+		// reclaimer's limbo, to be unmapped and unlinked off the hot path.
+		sf.sealed = true
+		if sf.refs == 0 {
+			p.retireLocked(sf)
+		} else {
+			p.sealed = append(p.sealed, sf)
+		}
 		p.current = nil
 	}
 	return nil, vfs.ErrNoSpace
+}
+
+// addRangeRef records that a new stagedRange entry references sf.
+func (p *stagingPool) addRangeRef(sf *stagingFile) {
+	p.mu.Lock()
+	sf.refs++
+	p.mu.Unlock()
+}
+
+// release drops the reference held by each staged range (one per overlay
+// entry: merged appends extend an existing entry and hold a single
+// reference). Called after the relink batch that consumed the ranges has
+// group-committed — recovery may need the staged bytes until then.
+func (p *stagingPool) release(ranges []stagedRange) {
+	p.mu.Lock()
+	for _, r := range ranges {
+		if r.sf != nil {
+			p.unrefLocked(r.sf)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// releaseChunk drops an ofile's active-chunk reference (the chunk is
+// being replaced, or its ofile is going away).
+func (p *stagingPool) releaseChunk(c *stagingChunk) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	p.unrefLocked(c.sf)
+	p.mu.Unlock()
+}
+
+func (p *stagingPool) unrefLocked(sf *stagingFile) {
+	sf.refs--
+	if sf.refs == 0 && sf.sealed {
+		for i, s := range p.sealed {
+			if s == sf {
+				p.sealed = append(p.sealed[:i], p.sealed[i+1:]...)
+				break
+			}
+		}
+		p.retireLocked(sf)
+	}
+}
+
+// retireLocked stamps a fully-released sealed file with the current epoch
+// and parks it in limbo. Caller holds p.mu.
+func (p *stagingPool) retireLocked(sf *stagingFile) {
+	p.limbo = append(p.limbo, limboFile{sf: sf, epoch: p.epoch})
+}
+
+// pin marks the caller as active in the current epoch; staged-overlay
+// readers hold a pin across any access through a staging-file mapping.
+func (p *stagingPool) pin() uint64 {
+	p.mu.Lock()
+	e := p.epoch
+	p.pins[e]++
+	p.mu.Unlock()
+	return e
+}
+
+// unpin releases a pin taken at epoch e.
+func (p *stagingPool) unpin(e uint64) {
+	p.mu.Lock()
+	if p.pins[e]--; p.pins[e] == 0 {
+		delete(p.pins, e)
+	}
+	p.mu.Unlock()
+}
+
+// reclaim advances the epoch and unmaps, closes, and unlinks every limbo
+// file whose grace period has elapsed: retirement epoch older than every
+// active pin. The relink pipeline calls this after each drain, keeping
+// the munmap and unlink cost off the fsync hot path; the unlink's block
+// frees join the running journal transaction and commit with the next
+// group commit. Returns how many files were reclaimed.
+func (p *stagingPool) reclaim() int {
+	p.mu.Lock()
+	p.epoch++
+	minPinned := p.epoch
+	for e := range p.pins {
+		if e < minPinned {
+			minPinned = e
+		}
+	}
+	var free []*stagingFile
+	keep := p.limbo[:0]
+	for _, lf := range p.limbo {
+		if lf.epoch < minPinned {
+			free = append(free, lf.sf)
+		} else {
+			keep = append(keep, lf)
+		}
+	}
+	p.limbo = keep
+	p.reclaimed += len(free)
+	p.mu.Unlock()
+	for _, sf := range free {
+		sf.m.Unmap()
+		sf.kf.Close()
+		// A failed unlink (it cannot fail for a live staging path) would
+		// only leave the file for recovery's staging-dir sweep.
+		_ = p.fs.kfs.Unlink(sf.path)
+	}
+	return len(free)
 }
 
 // Refill tops the ready pool back up to the configured count, as the
@@ -169,10 +313,12 @@ func (p *stagingPool) refill() error {
 // fixed ~128 bytes of bookkeeping (stagingFile struct, pool slot, kernel
 // handle) plus the page-table overhead of its persistent mapping — 8
 // bytes per mapped page, where the page size depends on whether the
-// mapping was granted huge pages. Retired (used-up) files count too:
-// their mappings and handles stay open for the process lifetime. This is
-// the dominant §5.10 term: the paper's 160 MB staging files cost ~320 KB
-// of page tables each with 4 KB pages, versus 640 B with 2 MB pages.
+// mapping was granted huge pages. Sealed files still referenced by
+// staged ranges, and limbo files awaiting their reclamation grace
+// period, count too; reclaimed files do not — unmapping them is exactly
+// what returns their page tables. This is the dominant §5.10 term: the
+// paper's 160 MB staging files cost ~320 KB of page tables each with
+// 4 KB pages, versus 640 B with 2 MB pages.
 func (p *stagingPool) memoryUsage() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -188,8 +334,11 @@ func (p *stagingPool) memoryUsage() int64 {
 	for _, sf := range p.ready {
 		count(sf)
 	}
-	for _, sf := range p.retired {
+	for _, sf := range p.sealed {
 		count(sf)
+	}
+	for _, lf := range p.limbo {
+		count(lf.sf)
 	}
 	if p.current != nil {
 		count(p.current)
@@ -207,4 +356,12 @@ func (fs *FS) StagingFilesCreated() int {
 	fs.staging.mu.Lock()
 	defer fs.staging.mu.Unlock()
 	return fs.staging.created
+}
+
+// StagingFilesReclaimed reports how many retired staging files the
+// epoch reclaimer has unmapped and unlinked.
+func (fs *FS) StagingFilesReclaimed() int {
+	fs.staging.mu.Lock()
+	defer fs.staging.mu.Unlock()
+	return fs.staging.reclaimed
 }
