@@ -16,7 +16,11 @@
 //
 //	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
 //	           [-sample N] [-metadata] [-double-crash] [-double-sample N]
-//	           [-minimize] [-workers N] [-v]
+//	           [-minimize] [-out FILE] [-workers N] [-v]
+//
+// -out FILE writes a report of any violations — including the minimized
+// reproducer when -minimize is set — to FILE, so a scheduled run can
+// upload it as a build artifact. No file is written on a clean sweep.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"splitfs/internal/crash"
@@ -46,6 +51,7 @@ func main() {
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
 	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
 	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
+	outPath := flag.String("out", "", "write a violation report (with any minimized reproducer) to this file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel campaign workers")
 	verbose := flag.Bool("v", false, "per-campaign progress lines")
 	flag.Parse()
@@ -187,6 +193,11 @@ func main() {
 		failed = true
 	}
 
+	var report strings.Builder
+	for _, v := range violations {
+		fmt.Fprintf(&report, "VIOLATION mode=%v seed=%d event=%d double=%d: %s\n",
+			v.Mode, v.Seed, v.Event, v.DoubleEvent, v.Msg)
+	}
 	if len(violations) > 0 && *minimize && vioJob != nil {
 		fmt.Printf("minimizing %s (%d ops)...\n", vioJob.name, len(vioJob.cfg.Ops))
 		cfg := vioJob.cfg
@@ -204,13 +215,24 @@ func main() {
 		min, err := crash.Minimize(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crashcheck: minimize: %v\n", err)
+			fmt.Fprintf(&report, "minimize failed: %v\n", err)
 		} else {
-			fmt.Printf("minimal reproducer: %d ops (%d runs): %s\n",
-				len(min.Ops), min.Runs, min.Violation.Msg)
+			var repro strings.Builder
+			fmt.Fprintf(&repro, "minimal reproducer for %s: %d ops (%d runs): %s\n",
+				vioJob.name, len(min.Ops), min.Runs, min.Violation.Msg)
 			for i, op := range min.Ops {
-				fmt.Printf("  op %d: %v %s %s off=%d size=%d len=%d fsync=%v close=%v\n",
+				fmt.Fprintf(&repro, "  op %d: %v %s %s off=%d size=%d len=%d fsync=%v close=%v\n",
 					i+1, op.Kind, op.Path, op.Path2, op.Off, op.Size, len(op.Data), op.Fsync, op.Close)
 			}
+			fmt.Print(repro.String())
+			report.WriteString(repro.String())
+		}
+	}
+	if *outPath != "" && len(violations) > 0 {
+		if err := os.WriteFile(*outPath, []byte(report.String()), 0644); err != nil {
+			fmt.Fprintf(os.Stderr, "crashcheck: write %s: %v\n", *outPath, err)
+		} else {
+			fmt.Printf("violation report written to %s\n", *outPath)
 		}
 	}
 	if len(violations) > 0 || failed {

@@ -9,35 +9,39 @@
 //	splitbench -threads 8 scaling
 //	splitbench -json "" ...     # suppress BENCH_results.json
 //
+//	splitbench -experiment macro -scale smoke            # full 9-backend matrix
+//	splitbench -experiment macro -backend splitfs-strict -workload ycsb-A,tpcc
+//	splitbench -experiment macro -scale smoke -check-baseline   # CI perf gate
+//	splitbench -update-baseline                                 # refresh BENCH_baseline.json
+//
 // -threads N sets the worker-goroutine sweep of the concurrent-mode
 // "scaling" experiment to powers of two up to N (default 4). Wall-clock
 // scaling needs GOMAXPROCS >= N.
 //
-// Experiments that attach machine-readable metrics (e.g. scaling,
+// Experiments that attach machine-readable metrics (macro, scaling,
 // groupcommit) are additionally serialized to the -json file as records
-// of {experiment, metric, value, unit, git_rev}, appended per run so the
-// perf trajectory across revisions accumulates in one place.
+// of {experiment, metric, value, unit, git_rev}. Reruns at the same
+// revision replace their previous rows, so the file accumulates one
+// clean perf trajectory across revisions.
+//
+// The macro matrix's deterministic counters (fences/op, journal commits,
+// log appends, relink/reclaim counts, PM bytes) are additionally pinned
+// by BENCH_baseline.json: -check-baseline recomputes them and fails on
+// any drift; -update-baseline rewrites the baseline after an intentional
+// change (the documented escape hatch the CI bench job points at).
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"strings"
 
+	"splitfs/internal/benchfmt"
 	"splitfs/internal/harness"
 )
-
-// benchRecord is one serialized metric in BENCH_results.json.
-type benchRecord struct {
-	Experiment string  `json:"experiment"`
-	Metric     string  `json:"metric"`
-	Value      float64 `json:"value"`
-	Unit       string  `json:"unit"`
-	GitRev     string  `json:"git_rev"`
-}
 
 // gitRev resolves the working tree's revision, falling back to CI's
 // GITHUB_SHA and then "unknown" (the JSON stays well-formed either way).
@@ -57,20 +61,27 @@ func gitRev() string {
 	return "unknown"
 }
 
-// writeResults appends the run's metrics to the JSON array already in
-// path (if any), so the file accumulates the perf trajectory across
-// revisions. An unreadable or corrupt existing file is started fresh.
-func writeResults(path string, recs []benchRecord) error {
-	var all []benchRecord
-	if prev, err := os.ReadFile(path); err == nil {
-		_ = json.Unmarshal(prev, &all)
+// writeResults merges the run's metrics into the trajectory file,
+// replacing rows a rerun at the same revision already produced. An
+// unreadable or corrupt existing file is started fresh.
+func writeResults(path string, recs []benchfmt.Record) error {
+	old, err := benchfmt.Load(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "splitbench: %s unreadable (%v); starting fresh\n", path, err)
+		old = nil
 	}
-	all = append(all, recs...)
-	buf, err := json.MarshalIndent(all, "", "  ")
-	if err != nil {
-		return err
+	return benchfmt.Save(path, benchfmt.Merge(old, recs))
+}
+
+// splitList splits a comma-separated flag value into its entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0644)
+	return out
 }
 
 func main() {
@@ -78,6 +89,20 @@ func main() {
 		"max worker threads for the concurrent-mode scaling experiment (0 keeps the default sweep)")
 	jsonPath := flag.String("json", "BENCH_results.json",
 		"write machine-readable metrics here (empty disables)")
+	experiment := flag.String("experiment", "",
+		"experiment IDs to run (comma-separated; alternative to positional arguments)")
+	scale := flag.String("scale", "smoke",
+		"macro matrix scale level: smoke, small, or full")
+	backend := flag.String("backend", "",
+		"restrict the macro matrix to these backends (comma-separated; empty = all nine)")
+	workload := flag.String("workload", "",
+		"restrict the macro matrix to these workloads (comma-separated; empty = ycsb-A..F and tpcc)")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json",
+		"regression baseline for the macro matrix's deterministic counters")
+	checkBaseline := flag.Bool("check-baseline", false,
+		"diff the macro matrix's deterministic counters against -baseline and fail on drift")
+	updateBaseline := flag.Bool("update-baseline", false,
+		"rewrite -baseline from this run's macro counters (escape hatch after an intentional change)")
 	flag.Parse()
 	if *threads < 0 {
 		fmt.Fprintln(os.Stderr, "splitbench: -threads must not be negative")
@@ -85,6 +110,10 @@ func main() {
 	}
 	if *threads > 0 {
 		harness.SetMaxThreads(*threads)
+	}
+	if err := harness.SetMacroConfig(*scale, splitList(*backend), splitList(*workload)); err != nil {
+		fmt.Fprintf(os.Stderr, "splitbench: %v\n", err)
+		os.Exit(2)
 	}
 	args := flag.Args()
 	// flag.Parse stops at the first positional argument; a flag placed
@@ -101,11 +130,17 @@ func main() {
 		}
 		return
 	}
+	ids := append(splitList(*experiment), args...)
+	if len(ids) == 0 && (*checkBaseline || *updateBaseline) {
+		// The baseline covers exactly the macro matrix; gate runs that
+		// name no experiment mean "run the matrix".
+		ids = []string{"macro"}
+	}
 	var exps []harness.Experiment
-	if len(args) == 0 {
+	if len(ids) == 0 {
 		exps = harness.All()
 	} else {
-		for _, id := range args {
+		for _, id := range ids {
 			e, ok := harness.Get(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "splitbench: unknown experiment %q (try 'splitbench list')\n", id)
@@ -116,7 +151,8 @@ func main() {
 	}
 	failed := false
 	rev := gitRev()
-	var recs []benchRecord
+	var recs []benchfmt.Record
+	ranMacro := false
 	for _, e := range exps {
 		tbl, err := e.Run()
 		if err != nil {
@@ -124,9 +160,12 @@ func main() {
 			failed = true
 			continue
 		}
+		if e.ID == "macro" {
+			ranMacro = true
+		}
 		tbl.Render(os.Stdout)
 		for _, m := range tbl.Metrics {
-			recs = append(recs, benchRecord{
+			recs = append(recs, benchfmt.Record{
 				Experiment: e.ID, Metric: m.Name, Value: m.Value, Unit: m.Unit, GitRev: rev,
 			})
 		}
@@ -137,6 +176,44 @@ func main() {
 			failed = true
 		} else {
 			fmt.Printf("wrote %d metrics to %s (rev %s)\n", len(recs), *jsonPath, rev)
+		}
+	}
+	if (*checkBaseline || *updateBaseline) && !ranMacro {
+		fmt.Fprintln(os.Stderr, "splitbench: baseline operations need the macro experiment in the run")
+		failed = true
+	}
+	// The baseline pins the full smoke-scale matrix; recording or
+	// checking it at another scale or on a restricted selection would
+	// silently break the CI gate with hundreds of unexplained drifts.
+	if (*checkBaseline || *updateBaseline) &&
+		(*scale != "smoke" || *backend != "" || *workload != "") {
+		fmt.Fprintln(os.Stderr, "splitbench: baseline operations require -scale smoke and no -backend/-workload restriction")
+		os.Exit(2)
+	}
+	if *updateBaseline && ranMacro {
+		gated := benchfmt.GatedSubset(recs)
+		if err := benchfmt.Save(*baselinePath, gated); err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: write %s: %v\n", *baselinePath, err)
+			failed = true
+		} else {
+			fmt.Printf("baseline %s updated: %d pinned counters (rev %s)\n", *baselinePath, len(gated), rev)
+		}
+	} else if *checkBaseline && ranMacro {
+		base, err := benchfmt.Load(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitbench: load baseline %s: %v\n", *baselinePath, err)
+			failed = true
+		} else if drifts := benchfmt.DiffBaseline(base, recs); len(drifts) > 0 {
+			fmt.Fprintf(os.Stderr, "splitbench: %d deterministic counter(s) drifted from %s:\n", len(drifts), *baselinePath)
+			for _, d := range drifts {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			fmt.Fprintln(os.Stderr, "if this change is intentional, refresh the baseline with:")
+			fmt.Fprintln(os.Stderr, "  go run ./cmd/splitbench -update-baseline")
+			failed = true
+		} else {
+			fmt.Printf("baseline check passed: %d pinned counters match %s\n",
+				len(benchfmt.GatedSubset(recs)), *baselinePath)
 		}
 	}
 	if failed {

@@ -408,14 +408,18 @@ func (db *DB) Flush() error {
 	return db.flush()
 }
 
-// Close flushes and releases the store.
+// Close flushes and releases the store. The tables are released even
+// when the WAL sync fails, so an error return never leaks their
+// mappings.
 func (db *DB) Close() error {
-	if err := db.Flush(); err != nil {
-		return err
+	err := db.Flush()
+	if err == nil && db.wal != nil {
+		err = db.wal.Sync()
 	}
 	if db.wal != nil {
-		db.wal.Sync()
-		db.wal.Close()
+		if cerr := db.wal.Close(); err == nil {
+			err = cerr
+		}
 	}
 	for _, t := range db.l0 {
 		t.close()
@@ -423,7 +427,7 @@ func (db *DB) Close() error {
 	if db.l1 != nil {
 		db.l1.close()
 	}
-	return nil
+	return err
 }
 
 // Stats returns engine counters.

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"splitfs/internal/vfs"
 )
@@ -264,9 +265,17 @@ func (d *DB) Checkpoint() error {
 		return nil
 	}
 	d.stats.Checkpoints++
+	// Copy back in ascending page order: map-order iteration would vary
+	// the main file's first-touch allocation pattern run to run, and the
+	// macro matrix pins the resulting metadata counters byte-for-byte.
+	pageNos := make([]uint32, 0, len(d.walIndex))
+	for pageNo := range d.walIndex {
+		pageNos = append(pageNos, pageNo)
+	}
+	sort.Slice(pageNos, func(i, j int) bool { return pageNos[i] < pageNos[j] })
 	page := make([]byte, PageSize)
-	for pageNo, off := range d.walIndex {
-		if _, err := d.wal.ReadAt(page, off); err != nil {
+	for _, pageNo := range pageNos {
+		if _, err := d.wal.ReadAt(page, d.walIndex[pageNo]); err != nil {
 			return err
 		}
 		if _, err := d.db.WriteAt(page, int64(pageNo)*PageSize); err != nil {

@@ -1,0 +1,146 @@
+package crash
+
+import (
+	"fmt"
+
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/logfs"
+	"splitfs/internal/nova"
+	"splitfs/internal/pmem"
+	"splitfs/internal/pmfs"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/strata"
+	"splitfs/internal/vfs"
+)
+
+// The backend registry: every file system in the repository, buildable
+// on a fresh simulated device by kind name. The differential suite and
+// the macrobenchmark matrix (internal/harness) both construct their
+// backends here, so "all nine backends" means the same nine everywhere.
+
+// BackendKinds returns the nine backend kind names, reference
+// (ext4-dax) first. The returned slice is fresh; callers may mutate it.
+func BackendKinds() []string {
+	return []string{
+		"ext4-dax",
+		"splitfs-posix", "splitfs-sync", "splitfs-strict",
+		"nova-strict", "nova-relaxed", "pmfs", "strata", "logfs",
+	}
+}
+
+// IsBackendKind reports whether kind names a registered backend.
+func IsBackendKind(kind string) bool {
+	for _, k := range BackendKinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// BackendSpec sizes one backend instance. Zero fields take the
+// differential suite's defaults (32 MB device, small logs), which suit
+// short traces; the macro matrix passes larger values per scale level.
+type BackendSpec struct {
+	DevBytes  int64 // device capacity (default 32 MB)
+	MaxInodes int64 // ext4-dax inode table (default 512)
+
+	// splitfs (U-Split) sizing.
+	StagingFiles     int
+	StagingFileBytes int64
+	OpLogBytes       int64
+
+	// log-structured engines (nova/pmfs/logfs shared area, strata).
+	LogBytes          int64
+	SnapshotSlotBytes int64
+	PrivateLogBytes   int64 // strata per-process log
+}
+
+func (s *BackendSpec) fill() {
+	if s.DevBytes == 0 {
+		s.DevBytes = defaultDevBytes
+	}
+	if s.MaxInodes == 0 {
+		s.MaxInodes = 512
+	}
+	if s.StagingFiles == 0 {
+		s.StagingFiles = 4
+	}
+	if s.StagingFileBytes == 0 {
+		s.StagingFileBytes = 1 << 20
+	}
+	if s.OpLogBytes == 0 {
+		s.OpLogBytes = 256 << 10
+	}
+	if s.LogBytes == 0 {
+		s.LogBytes = 4 << 20
+	}
+	if s.SnapshotSlotBytes == 0 {
+		s.SnapshotSlotBytes = 1 << 20
+	}
+	if s.PrivateLogBytes == 0 {
+		s.PrivateLogBytes = 2 << 20
+	}
+}
+
+// Backend is one constructed file system with its device and clock, so
+// callers can read simulated time and device counters alongside the
+// vfs surface.
+type Backend struct {
+	Kind  string
+	Clock *sim.Clock
+	Dev   *pmem.Device
+	FS    vfs.FileSystem
+}
+
+// NewBackend builds one backend instance of the given kind on a fresh
+// device sized by spec.
+func NewBackend(kind string, spec BackendSpec) (*Backend, error) {
+	spec.fill()
+	clk := sim.NewClock()
+	dev := pmem.New(pmem.Config{Size: spec.DevBytes, Clock: clk})
+	b := &Backend{Kind: kind, Clock: clk, Dev: dev}
+	lcfg := logfs.Config{LogBytes: spec.LogBytes, SnapshotSlotBytes: spec.SnapshotSlotBytes}
+	switch kind {
+	case "ext4-dax":
+		fs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: spec.MaxInodes})
+		if err != nil {
+			return nil, err
+		}
+		b.FS = fs
+	case "splitfs-posix", "splitfs-sync", "splitfs-strict":
+		kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: spec.MaxInodes})
+		if err != nil {
+			return nil, err
+		}
+		mode := splitfs.POSIX
+		switch kind {
+		case "splitfs-sync":
+			mode = splitfs.Sync
+		case "splitfs-strict":
+			mode = splitfs.Strict
+		}
+		fs, err := splitfs.New(kfs, splitfs.Config{Mode: mode,
+			StagingFiles:     spec.StagingFiles,
+			StagingFileBytes: spec.StagingFileBytes,
+			OpLogBytes:       spec.OpLogBytes})
+		if err != nil {
+			return nil, err
+		}
+		b.FS = fs
+	case "nova-strict":
+		b.FS = nova.New(dev, nova.Strict, lcfg)
+	case "nova-relaxed":
+		b.FS = nova.New(dev, nova.Relaxed, lcfg)
+	case "pmfs":
+		b.FS = pmfs.New(dev, lcfg)
+	case "strata":
+		b.FS = strata.New(dev, strata.Config{PrivateLogBytes: spec.PrivateLogBytes, Shared: lcfg})
+	case "logfs":
+		b.FS = logfs.New(dev, logfs.Profile{Name: "logfs"}, lcfg)
+	default:
+		return nil, fmt.Errorf("crash: unknown backend kind %q", kind)
+	}
+	return b, nil
+}

@@ -6,14 +6,6 @@ import (
 	"sort"
 	"strings"
 
-	"splitfs/internal/ext4dax"
-	"splitfs/internal/logfs"
-	"splitfs/internal/nova"
-	"splitfs/internal/pmem"
-	"splitfs/internal/pmfs"
-	"splitfs/internal/sim"
-	"splitfs/internal/splitfs"
-	"splitfs/internal/strata"
 	"splitfs/internal/vfs"
 )
 
@@ -26,12 +18,9 @@ import (
 // that all backends implement the same POSIX-visible semantics, using
 // the other five implementations as each other's oracle.
 
-// DiffBackends lists the backends the suite compares, reference first.
-var DiffBackends = []string{
-	"ext4-dax",
-	"splitfs-posix", "splitfs-sync", "splitfs-strict",
-	"nova-strict", "nova-relaxed", "pmfs", "strata", "logfs",
-}
+// DiffBackends lists the backends the suite compares, reference first —
+// the full registry from backend.go.
+var DiffBackends = BackendKinds()
 
 // DiffMismatch is one divergence from the reference backend.
 type DiffMismatch struct {
@@ -53,41 +42,14 @@ type DiffResult struct {
 	Mismatches []DiffMismatch
 }
 
-// newDiffFS builds one backend instance on a fresh device.
+// newDiffFS builds one backend instance on a fresh device via the
+// registry, with the suite's default small-log sizing.
 func newDiffFS(kind string, devBytes int64) (vfs.FileSystem, error) {
-	clk := sim.NewClock()
-	dev := pmem.New(pmem.Config{Size: devBytes, Clock: clk})
-	lcfg := logfs.Config{LogBytes: 4 << 20, SnapshotSlotBytes: 1 << 20}
-	switch kind {
-	case "ext4-dax":
-		return ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 512})
-	case "splitfs-posix", "splitfs-sync", "splitfs-strict":
-		kfs, err := ext4dax.Mkfs(dev, ext4dax.Config{MaxInodes: 512})
-		if err != nil {
-			return nil, err
-		}
-		mode := splitfs.POSIX
-		switch kind {
-		case "splitfs-sync":
-			mode = splitfs.Sync
-		case "splitfs-strict":
-			mode = splitfs.Strict
-		}
-		return splitfs.New(kfs, splitfs.Config{Mode: mode, StagingFiles: 4,
-			StagingFileBytes: 1 << 20, OpLogBytes: 256 << 10})
-	case "nova-strict":
-		return nova.New(dev, nova.Strict, lcfg), nil
-	case "nova-relaxed":
-		return nova.New(dev, nova.Relaxed, lcfg), nil
-	case "pmfs":
-		return pmfs.New(dev, lcfg), nil
-	case "strata":
-		return strata.New(dev, strata.Config{PrivateLogBytes: 2 << 20, Shared: lcfg}), nil
-	case "logfs":
-		return logfs.New(dev, logfs.Profile{Name: "logfs"}, lcfg), nil
-	default:
-		return nil, fmt.Errorf("crash: unknown diff backend %q", kind)
+	b, err := NewBackend(kind, BackendSpec{DevBytes: devBytes})
+	if err != nil {
+		return nil, err
 	}
+	return b.FS, nil
 }
 
 // renderTrace produces the canonical, human-readable form of a compiled

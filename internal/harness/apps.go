@@ -135,7 +135,7 @@ func fig5() (*Table, error) {
 			return err
 		}
 		defer db.Close()
-		b, err := tpcc.New(db, tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60, Items: 200})
+		b, err := tpcc.New(tpcc.Wrap(db), tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60, Items: 200})
 		if err != nil {
 			return err
 		}
@@ -270,7 +270,7 @@ func fig6() (*Table, error) {
 			return 0, err
 		}
 		defer db.Close()
-		b, err := tpcc.New(db, tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60, Items: 200})
+		b, err := tpcc.New(tpcc.Wrap(db), tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60, Items: 200})
 		if err != nil {
 			return 0, err
 		}

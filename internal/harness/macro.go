@@ -1,0 +1,349 @@
+// The macrobenchmark matrix: YCSB workloads A-F (on the lsmkv
+// LSM engine) and a scaled-down TPC-C (on the waldb WAL page store) over
+// every backend in the repository, through the vfs interface. The paper's
+// headline numbers are exactly this matrix (§5.2: LevelDB/YCSB and
+// SQLite/TPC-C over ext4-DAX, NOVA, PMFS, Strata, and the three SplitFS
+// modes); here each cell reports deterministic simulator-derived metrics —
+// simulated ns/op, fences/op, journal commits, relink and
+// staging-reclaim counts, bytes written to PM — plus the executed op mix.
+//
+// Because every metric comes from the deterministic cost model and
+// seeded generators, a cell's numbers are reproducible byte-for-byte:
+// CI diffs the counters against BENCH_baseline.json and fails on any
+// unexplained drift (see DESIGN.md, "Macrobenchmark matrix").
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"splitfs/internal/apps/lsmkv"
+	"splitfs/internal/apps/waldb"
+	"splitfs/internal/crash"
+	"splitfs/internal/ext4dax"
+	"splitfs/internal/logfs"
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+	"splitfs/internal/strata"
+	"splitfs/internal/wl/tpcc"
+	"splitfs/internal/wl/ycsb"
+)
+
+func init() {
+	register("macro", "Macrobenchmark matrix: YCSB A-F + TPC-C over all nine backends", macroExp)
+}
+
+// MacroScales are the supported scale levels, smallest first. smoke is
+// the CI gate (seconds for the full matrix); small approximates the
+// repo's default workload sizes; full approaches the paper's scaled-down
+// evaluation sizes.
+var MacroScales = []string{"smoke", "small", "full"}
+
+// MacroWorkloads returns the workload column of the matrix.
+func MacroWorkloads() []string {
+	return []string{"ycsb-A", "ycsb-B", "ycsb-C", "ycsb-D", "ycsb-E", "ycsb-F", "tpcc"}
+}
+
+// MacroBackends returns the backend row of the matrix — the same nine
+// the differential suite compares.
+func MacroBackends() []string { return crash.BackendKinds() }
+
+// macroSel is the process-wide matrix selection, reconfigured by
+// cmd/splitbench's -scale/-backend/-workload flags before the experiment
+// runs (same pattern as SetMaxThreads).
+var macroSel = struct {
+	scale     string
+	backends  []string
+	workloads []string
+}{scale: "smoke"}
+
+// SetMacroConfig selects the scale level and optionally restricts the
+// matrix to given backends and workloads (nil or empty = all).
+func SetMacroConfig(scale string, backends, workloads []string) error {
+	ok := false
+	for _, s := range MacroScales {
+		if s == scale {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("harness: unknown macro scale %q (have %v)", scale, MacroScales)
+	}
+	for _, b := range backends {
+		if !crash.IsBackendKind(b) {
+			return fmt.Errorf("harness: unknown backend %q (have %v)", b, MacroBackends())
+		}
+	}
+	for _, w := range workloads {
+		found := false
+		for _, have := range MacroWorkloads() {
+			if w == have {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("harness: unknown workload %q (have %v)", w, MacroWorkloads())
+		}
+	}
+	macroSel.scale = scale
+	macroSel.backends = append([]string(nil), backends...)
+	macroSel.workloads = append([]string(nil), workloads...)
+	return nil
+}
+
+// macroParams sizes one scale level: the backend spec plus the workload
+// and engine configurations. The workload seeds are fixed per scale so
+// every backend sees the identical op stream.
+type macroParams struct {
+	spec   crash.BackendSpec
+	ycsb   ycsb.Config
+	lsm    lsmkv.Options
+	tpcc   tpcc.Config
+	tpccTx int
+	ckpt   int // waldb checkpoint threshold (frames)
+}
+
+func macroScaleParams(scale string) (macroParams, error) {
+	switch scale {
+	case "smoke":
+		return macroParams{
+			spec: crash.BackendSpec{DevBytes: 64 << 20, MaxInodes: 1024,
+				StagingFiles: 6, StagingFileBytes: 1 << 20, OpLogBytes: 1 << 20,
+				LogBytes: 4 << 20, SnapshotSlotBytes: 1 << 20, PrivateLogBytes: 2 << 20},
+			// The memtable is sized well below the loaded dataset (~32 KB)
+			// so flushes, compactions, and table reads all happen within a
+			// smoke run — otherwise read-only workloads like C never leave
+			// the DRAM memtable and measure nothing.
+			ycsb:   ycsb.Config{Records: 120, Operations: 240, ValueBytes: 256, MaxScan: 20, Seed: 11},
+			lsm:    lsmkv.Options{MemtableBytes: 8 << 10, SyncWrites: true, IndexEvery: 8},
+			tpcc:   tpcc.Config{Warehouses: 1, Districts: 2, Customers: 20, Items: 60, Seed: 42},
+			tpccTx: 60, ckpt: 128,
+		}, nil
+	case "small":
+		return macroParams{
+			spec: crash.BackendSpec{DevBytes: 256 << 20, MaxInodes: 4096,
+				StagingFiles: 12, StagingFileBytes: 4 << 20, OpLogBytes: 4 << 20,
+				LogBytes: 8 << 20, SnapshotSlotBytes: 2 << 20, PrivateLogBytes: 3 << 20},
+			ycsb:   ycsb.Config{Records: 1000, Operations: 2000, ValueBytes: 1000, MaxScan: 50, Seed: 11},
+			lsm:    lsmkv.Options{MemtableBytes: 256 << 10, SyncWrites: true},
+			tpcc:   tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60, Items: 200, Seed: 42},
+			tpccTx: 400, ckpt: 256,
+		}, nil
+	case "full":
+		return macroParams{
+			spec: crash.BackendSpec{DevBytes: 1 << 30, MaxInodes: 8192,
+				StagingFiles: 24, StagingFileBytes: 8 << 20, OpLogBytes: 8 << 20,
+				LogBytes: 16 << 20, SnapshotSlotBytes: 4 << 20, PrivateLogBytes: 3 << 20},
+			ycsb:   ycsb.Config{Records: 5000, Operations: 10000, ValueBytes: 1000, MaxScan: 100, Seed: 11},
+			lsm:    lsmkv.Options{MemtableBytes: 1 << 20, SyncWrites: true},
+			tpcc:   tpcc.Config{Warehouses: 2, Districts: 10, Customers: 100, Items: 1000, Seed: 42},
+			tpccTx: 1000, ckpt: 256,
+		}, nil
+	default:
+		return macroParams{}, fmt.Errorf("harness: unknown macro scale %q", scale)
+	}
+}
+
+// MacroCell is one (backend, workload) matrix cell.
+type MacroCell struct {
+	Backend  string
+	Workload string
+	Ops      int64
+	// Metrics in a fixed order: the deterministic counters first
+	// (ns_per_op, fences_per_op, journal_commits, log_appends, relinks,
+	// staging_reclaimed, pm_bytes, ops), then the executed op mix.
+	Metrics []Metric
+}
+
+// macroCounters is one snapshot of every deterministic counter a cell
+// reports, taken before and after the run phase.
+type macroCounters struct {
+	clk        sim.Breakdown
+	dev        pmem.Stats
+	commits    int64 // ext4-dax jbd2 transaction commits (splitfs: its K-Split)
+	logAppends int64 // per-op log appends of the log-structured engines
+	relinks    int64
+	reclaimed  int64
+}
+
+func snapshotCounters(b *crash.Backend) macroCounters {
+	c := macroCounters{clk: b.Clock.Snapshot(), dev: b.Dev.Stats()}
+	switch fs := b.FS.(type) {
+	case *splitfs.FS:
+		c.commits = fs.KFS().Stats().Commits
+		c.relinks = fs.Stats().Relinks
+		c.reclaimed = int64(fs.StagingFilesReclaimed())
+	case *ext4dax.FS:
+		c.commits = fs.Stats().Commits
+	case *logfs.FS: // also nova-*, pmfs: type aliases of logfs.FS
+		c.logAppends = fs.Stats().LogAppends
+	case *strata.FS:
+		c.logAppends = fs.Stats().LogAppends
+	}
+	return c
+}
+
+// cellMetrics renders the before/after counter delta into the cell's
+// fixed metric order.
+func cellMetrics(ops int64, before, after macroCounters) []Metric {
+	d := after.clk.Sub(before.clk)
+	perOp := func(v int64) float64 {
+		if ops == 0 {
+			return 0
+		}
+		return float64(v) / float64(ops)
+	}
+	return []Metric{
+		{Name: "ns_per_op", Value: perOp(d.Total), Unit: "ns/op"},
+		{Name: "fences_per_op", Value: perOp(after.dev.Fences - before.dev.Fences), Unit: "fences/op"},
+		{Name: "journal_commits", Value: float64(after.commits - before.commits), Unit: "count"},
+		{Name: "log_appends", Value: float64(after.logAppends - before.logAppends), Unit: "count"},
+		{Name: "relinks", Value: float64(after.relinks - before.relinks), Unit: "count"},
+		{Name: "staging_reclaimed", Value: float64(after.reclaimed - before.reclaimed), Unit: "count"},
+		{Name: "pm_bytes", Value: float64(after.dev.BytesWritten() - before.dev.BytesWritten()), Unit: "bytes"},
+		{Name: "ops", Value: float64(ops), Unit: "ops"},
+	}
+}
+
+// RunMacroCell runs one workload on one backend at the given scale and
+// returns the cell's metrics. Only the run phase is measured; the load
+// phase (YCSB load, TPC-C population) warms the store first.
+func RunMacroCell(backend, workload, scale string) (*MacroCell, error) {
+	p, err := macroScaleParams(scale)
+	if err != nil {
+		return nil, err
+	}
+	b, err := crash.NewBackend(backend, p.spec)
+	if err != nil {
+		return nil, fmt.Errorf("macro %s: %w", backend, err)
+	}
+	cell := &MacroCell{Backend: backend, Workload: workload}
+	switch {
+	case strings.HasPrefix(workload, "ycsb-") && len(workload) == len("ycsb-")+1:
+		w := ycsb.Workload(workload[len("ycsb-")])
+		db, err := lsmkv.Open(b.FS, p.lsm)
+		if err != nil {
+			return nil, fmt.Errorf("macro %s/%s: open: %w", workload, backend, err)
+		}
+		cfg := p.ycsb
+		if w == ycsb.E {
+			cfg.Operations /= 2 // paper: 500K ops for E vs 1M elsewhere
+		}
+		if _, err := ycsb.Load(db, cfg); err != nil {
+			return nil, fmt.Errorf("macro %s/%s: load: %w", workload, backend, err)
+		}
+		before := snapshotCounters(b)
+		st, err := ycsb.Run(db, w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("macro %s/%s: run: %w", workload, backend, err)
+		}
+		after := snapshotCounters(b)
+		if err := db.Close(); err != nil {
+			return nil, fmt.Errorf("macro %s/%s: close: %w", workload, backend, err)
+		}
+		cell.Ops = st.Ops()
+		cell.Metrics = append(cellMetrics(cell.Ops, before, after),
+			Metric{Name: "mix_reads", Value: float64(st.Reads), Unit: "ops"},
+			Metric{Name: "mix_updates", Value: float64(st.Updates), Unit: "ops"},
+			Metric{Name: "mix_inserts", Value: float64(st.Inserts), Unit: "ops"},
+			Metric{Name: "mix_scans", Value: float64(st.Scans), Unit: "ops"},
+			Metric{Name: "mix_scan_rows", Value: float64(st.ScanRows), Unit: "rows"},
+			Metric{Name: "mix_rmws", Value: float64(st.RMWs), Unit: "ops"},
+		)
+	case workload == "tpcc":
+		db, err := waldb.Open(b.FS, waldb.Options{CheckpointPages: p.ckpt})
+		if err != nil {
+			return nil, fmt.Errorf("macro tpcc/%s: open: %w", backend, err)
+		}
+		bench, err := tpcc.New(tpcc.Wrap(db), p.tpcc)
+		if err != nil {
+			return nil, fmt.Errorf("macro tpcc/%s: populate: %w", backend, err)
+		}
+		before := snapshotCounters(b)
+		st, err := bench.Run(p.tpccTx)
+		if err != nil {
+			return nil, fmt.Errorf("macro tpcc/%s: run: %w", backend, err)
+		}
+		after := snapshotCounters(b)
+		if err := db.Close(); err != nil {
+			return nil, fmt.Errorf("macro tpcc/%s: close: %w", backend, err)
+		}
+		cell.Ops = st.Total()
+		cell.Metrics = append(cellMetrics(cell.Ops, before, after),
+			Metric{Name: "mix_new_orders", Value: float64(st.NewOrders), Unit: "txns"},
+			Metric{Name: "mix_payments", Value: float64(st.Payments), Unit: "txns"},
+			Metric{Name: "mix_order_statuses", Value: float64(st.OrderStatuses), Unit: "txns"},
+			Metric{Name: "mix_deliveries", Value: float64(st.Deliveries), Unit: "txns"},
+			Metric{Name: "mix_stock_levels", Value: float64(st.StockLevels), Unit: "txns"},
+		)
+	default:
+		return nil, fmt.Errorf("harness: unknown macro workload %q", workload)
+	}
+	return cell, nil
+}
+
+// macroExp runs the selected matrix and renders one table, one row per
+// cell, flattening every metric into Table.Metrics as
+// "<workload>/<backend>/<metric>" so cmd/splitbench serializes one
+// BENCH_results.json row per (backend x workload x metric).
+func macroExp() (*Table, error) {
+	backends := macroSel.backends
+	if len(backends) == 0 {
+		backends = MacroBackends()
+	}
+	workloads := macroSel.workloads
+	if len(workloads) == 0 {
+		workloads = MacroWorkloads()
+	}
+	t := &Table{
+		ID:    "macro",
+		Title: fmt.Sprintf("Macrobenchmark matrix at scale %q: %d workloads x %d backends", macroSel.scale, len(workloads), len(backends)),
+		Note:  "deterministic sim-derived counters; CI pins fences/op, journal commits, and PM bytes against BENCH_baseline.json",
+		Headers: []string{"Workload", "Backend", "ns/op", "fences/op", "commits",
+			"log appends", "relinks", "reclaimed", "PM MB", "ops"},
+	}
+	for _, w := range workloads {
+		for _, bk := range backends {
+			cell, err := RunMacroCell(bk, w, macroSel.scale)
+			if err != nil {
+				return nil, err
+			}
+			m := map[string]float64{}
+			for _, mm := range cell.Metrics {
+				m[mm.Name] = mm.Value
+			}
+			t.Rows = append(t.Rows, []string{
+				w, bk, f1(m["ns_per_op"]), f2(m["fences_per_op"]),
+				fmt.Sprintf("%.0f", m["journal_commits"]),
+				fmt.Sprintf("%.0f", m["log_appends"]),
+				fmt.Sprintf("%.0f", m["relinks"]),
+				fmt.Sprintf("%.0f", m["staging_reclaimed"]),
+				f2(m["pm_bytes"] / (1 << 20)),
+				fmt.Sprintf("%d", cell.Ops),
+			})
+			for _, mm := range cell.Metrics {
+				t.AddMetric(w+"/"+bk+"/"+mm.Name, mm.Value, mm.Unit)
+			}
+		}
+	}
+	return t, nil
+}
+
+// MacroBackendHash runs every macro workload on one backend at the given
+// scale and returns an FNV-1a digest over the rendered metric lines —
+// the seed-stability golden pinning both the generators and the
+// simulator's deterministic counters.
+func MacroBackendHash(backend, scale string) (uint64, error) {
+	var sb strings.Builder
+	for _, w := range MacroWorkloads() {
+		cell, err := RunMacroCell(backend, w, scale)
+		if err != nil {
+			return 0, err
+		}
+		for _, m := range cell.Metrics {
+			fmt.Fprintf(&sb, "%s/%s/%s=%.6g %s\n", w, backend, m.Name, m.Value, m.Unit)
+		}
+	}
+	return crash.TraceHash(sb.String()), nil
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+
+	"splitfs/internal/benchfmt"
+)
+
+// macroGoldens pin the full smoke-scale metric stream of every backend:
+// workload-generator drift, cost-model retuning, or any I/O-behavior
+// change shows up as a hash mismatch here before it shows up as an
+// unexplained BENCH_baseline.json drift in CI. Update by rerunning
+// internal/harness.MacroBackendHash (see DESIGN.md, "Macrobenchmark
+// matrix") when the change is intentional.
+var macroGoldens = map[string]uint64{
+	"ext4-dax":       0xb7ed5005a861284b,
+	"splitfs-posix":  0xdbaa82a93edc7af8,
+	"splitfs-sync":   0xf6f914cd8af5ef98,
+	"splitfs-strict": 0xe277db845873d42b,
+	"nova-strict":    0xae931dc930372b53,
+	"nova-relaxed":   0x44760be720988130,
+	"pmfs":           0x111fa5d6d4567525,
+	"strata":         0x23128460b63fcf33,
+	"logfs":          0xc5a5c2bf6b25abf5,
+}
+
+func TestMacroSeedStabilityGoldens(t *testing.T) {
+	if len(macroGoldens) != len(MacroBackends()) {
+		t.Fatalf("goldens cover %d backends, registry has %d", len(macroGoldens), len(MacroBackends()))
+	}
+	for _, backend := range MacroBackends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			want, ok := macroGoldens[backend]
+			if !ok {
+				t.Fatalf("no golden for backend %q — add it to macroGoldens", backend)
+			}
+			got, err := MacroBackendHash(backend, "smoke")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("macro metric hash for %s = %#016x, golden %#016x\n"+
+					"(deterministic counters changed; if intentional, update macroGoldens "+
+					"and run `go run ./cmd/splitbench -update-baseline`)", backend, got, want)
+			}
+		})
+	}
+}
+
+// TestMacroCellDeterminism re-runs one write-heavy cell and requires
+// every metric — including simulated ns/op — to match exactly. This is
+// the property the CI gate's exact (non-statistical) comparison stands
+// on.
+func TestMacroCellDeterminism(t *testing.T) {
+	run := func() []Metric {
+		cell, err := RunMacroCell("splitfs-strict", "ycsb-A", "smoke")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cell.Metrics
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("metric counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("metric %s: %v vs %v", a[i].Name, a[i].Value, b[i].Value)
+		}
+	}
+}
+
+// TestMacroMatrixShape checks the acceptance-criteria contract: one cell
+// per (backend x workload), each emitting the full fixed metric set, for
+// all nine backends and both workload families.
+func TestMacroMatrixShape(t *testing.T) {
+	if err := SetMacroConfig("smoke", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := macroExp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(MacroBackends()) * len(MacroWorkloads())
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
+	}
+	// Every cell contributes the 8 deterministic counters plus its mix.
+	perCell := map[string]int{}
+	for _, m := range tbl.Metrics {
+		// metric name is "<workload>/<backend>/<name>"
+		i := 0
+		for n := 0; n < 2; n++ {
+			for i < len(m.Name) && m.Name[i] != '/' {
+				i++
+			}
+			i++
+		}
+		perCell[m.Name[:i-1]]++
+	}
+	if len(perCell) != wantRows {
+		t.Fatalf("metric cells = %d, want %d", len(perCell), wantRows)
+	}
+	for cell, n := range perCell {
+		if n < 8 {
+			t.Errorf("cell %s has %d metrics, want >= 8", cell, n)
+		}
+	}
+}
+
+// TestMacroMetricsRoundTripSchema feeds real matrix metrics through the
+// exact serialization cmd/splitbench -json performs and requires the
+// result to satisfy the schema the CI gate loads, survive a disk
+// round-trip value-identically, and contain gated (baseline-pinned)
+// rows.
+func TestMacroMetricsRoundTripSchema(t *testing.T) {
+	cell, err := RunMacroCell("splitfs-sync", "tpcc", "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []benchfmt.Record
+	for _, m := range cell.Metrics {
+		recs = append(recs, benchfmt.Record{
+			Experiment: "macro",
+			Metric:     cell.Workload + "/" + cell.Backend + "/" + m.Name,
+			Value:      m.Value, Unit: m.Unit, GitRev: "test",
+		})
+	}
+	if err := benchfmt.Validate(recs); err != nil {
+		t.Fatalf("macro metrics violate the gate's schema: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := benchfmt.Save(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round-trip lost rows: %d vs %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("row %d changed across round-trip: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+	if n := len(benchfmt.GatedSubset(recs)); n != 6 {
+		t.Errorf("cell contributes %d gated counters, want 6", n)
+	}
+}
+
+func TestMacroConfigValidation(t *testing.T) {
+	defer SetMacroConfig("smoke", nil, nil)
+	if err := SetMacroConfig("bogus", nil, nil); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if err := SetMacroConfig("smoke", []string{"zfs"}, nil); err == nil {
+		t.Error("bogus backend accepted")
+	}
+	if err := SetMacroConfig("smoke", nil, []string{"ycsb-Z"}); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if err := SetMacroConfig("small", []string{"splitfs-strict"}, []string{"tpcc"}); err != nil {
+		t.Errorf("valid selection rejected: %v", err)
+	}
+}

@@ -1,9 +1,10 @@
 // Package tpcc implements a scaled-down TPC-C online transaction
-// processing workload over the waldb embedded database, reproducing the
-// paper's "TPC-C on SQLite (WAL mode)" evaluation (§5.2). The five
-// transaction types run in the standard mix — NewOrder 45%, Payment 43%,
-// OrderStatus 4%, Delivery 4%, StockLevel 4% — with TPC-C's key access
-// skews (1% remote warehouses, NURand-ish customer selection).
+// processing workload over any transactional record store (canonically
+// the waldb embedded database), reproducing the paper's "TPC-C on SQLite
+// (WAL mode)" evaluation (§5.2). The five transaction types run in the
+// standard mix — NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%,
+// StockLevel 4% — with TPC-C's key access skews (1% remote warehouses,
+// NURand-ish customer selection).
 package tpcc
 
 import (
@@ -13,6 +14,35 @@ import (
 	"splitfs/internal/apps/waldb"
 	"splitfs/internal/sim"
 )
+
+// Table is one keyed, fixed-row-size table of the store under test.
+type Table interface {
+	Insert(key uint64, row []byte) error
+	Update(key uint64, row []byte) error
+	Get(key uint64) ([]byte, error)
+	Has(key uint64) bool
+	Len() int
+}
+
+// DB is the transactional surface the workload drives: single-threaded
+// begin/commit brackets around table reads and writes. Any
+// vfs.FileSystem-backed engine can sit underneath; Wrap adapts the
+// canonical *waldb.DB.
+type DB interface {
+	Begin() error
+	Commit() error
+	NewTable(name string, rowSize int) (Table, error)
+}
+
+// Wrap adapts a waldb database to the DB interface (Go methods cannot
+// covariantly return *waldb.Table as Table, so the adapter is explicit).
+func Wrap(db *waldb.DB) DB { return waldbAdapter{db} }
+
+type waldbAdapter struct{ *waldb.DB }
+
+func (w waldbAdapter) NewTable(name string, rowSize int) (Table, error) {
+	return w.DB.NewTable(name, rowSize)
+}
 
 // Config scales the benchmark.
 type Config struct {
@@ -76,18 +106,18 @@ func (s Stats) Total() int64 {
 // Bench is a loaded TPC-C database ready to run transactions.
 type Bench struct {
 	cfg Config
-	db  *waldb.DB
+	db  DB
 	rng *sim.RNG
 
-	warehouse *waldb.Table
-	district  *waldb.Table
-	customer  *waldb.Table
-	stock     *waldb.Table
-	orders    *waldb.Table
-	orderLine *waldb.Table
-	newOrder  *waldb.Table
-	history   *waldb.Table
-	item      *waldb.Table
+	warehouse Table
+	district  Table
+	customer  Table
+	stock     Table
+	orders    Table
+	orderLine Table
+	newOrder  Table
+	history   Table
+	item      Table
 
 	nextOrderID  map[uint64]uint64 // district key -> next order id
 	oldestNewOrd map[uint64]uint64 // district key -> oldest undelivered
@@ -108,7 +138,7 @@ func olKey(w, d int, o uint64, l int) uint64 {
 }
 
 // New loads the initial database population inside bulk transactions.
-func New(db *waldb.DB, cfg Config) (*Bench, error) {
+func New(db DB, cfg Config) (*Bench, error) {
 	cfg.fill()
 	b := &Bench{
 		cfg: cfg, db: db, rng: sim.NewRNG(cfg.Seed),
@@ -116,7 +146,7 @@ func New(db *waldb.DB, cfg Config) (*Bench, error) {
 		oldestNewOrd: make(map[uint64]uint64),
 	}
 	var err error
-	mk := func(name string, size int) *waldb.Table {
+	mk := func(name string, size int) Table {
 		if err != nil {
 			return nil
 		}
@@ -300,7 +330,7 @@ func (b *Bench) paymentTx() error {
 		return err
 	}
 	for _, step := range []struct {
-		t *waldb.Table
+		t Table
 		k uint64
 	}{
 		{b.warehouse, wKey(w)},

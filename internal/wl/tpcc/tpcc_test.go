@@ -34,7 +34,7 @@ func TestLoadAndRunMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(db, smallCfg())
+	b, err := New(Wrap(db), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestLoadAndRunMix(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() Stats {
 		db, _ := waldb.Open(newFS(t), waldb.Options{})
-		b, err := New(db, smallCfg())
+		b, err := New(Wrap(db), smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +82,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 
 func TestNewOrderAdvancesOrders(t *testing.T) {
 	db, _ := waldb.Open(newFS(t), waldb.Options{})
-	b, err := New(db, smallCfg())
+	b, err := New(Wrap(db), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 // Package ycsb implements the Yahoo! Cloud Serving Benchmark core
-// workloads A-F over the lsmkv key-value store, matching the paper's
-// "YCSB on LevelDB" evaluation (§5.2, Table 7, Fig 5, Fig 6):
+// workloads A-F over any Store (canonically the lsmkv key-value store),
+// matching the paper's "YCSB on LevelDB" evaluation (§5.2, Table 7,
+// Fig 5, Fig 6):
 //
 //	A: 50% reads / 50% updates, zipfian
 //	B: 95% reads /  5% updates, zipfian
@@ -16,6 +17,19 @@ import (
 	"splitfs/internal/apps/lsmkv"
 	"splitfs/internal/sim"
 )
+
+// Store is the key-value surface the workloads drive. Any engine backed
+// by a vfs.FileSystem that exposes point operations and ordered range
+// scans can sit underneath; *lsmkv.DB is the canonical implementation,
+// which is what lets the macrobenchmark matrix run the same op stream
+// over every backend in the repository.
+type Store interface {
+	Put(key string, val []byte) error
+	Get(key string) ([]byte, error)
+	Scan(start string, count int) ([]lsmkv.KV, error)
+}
+
+var _ Store = (*lsmkv.DB)(nil)
 
 // Workload identifies one YCSB core workload.
 type Workload byte
@@ -65,12 +79,13 @@ func (c *Config) fill() {
 
 // Stats counts the executed operations.
 type Stats struct {
-	Reads   int64
-	Updates int64
-	Inserts int64
-	Scans   int64
-	RMWs    int64
-	Misses  int64 // reads of keys not found (should be 0)
+	Reads    int64
+	Updates  int64
+	Inserts  int64
+	Scans    int64
+	ScanRows int64 // rows returned across all scans (workload E depth)
+	RMWs     int64
+	Misses   int64 // reads of keys not found (should be 0)
 }
 
 // Ops returns the total operations.
@@ -79,7 +94,7 @@ func (s Stats) Ops() int64 { return s.Reads + s.Updates + s.Inserts + s.Scans + 
 func key(i int64) string { return fmt.Sprintf("user%012d", i) }
 
 // Load performs the load phase: Records sequential inserts.
-func Load(db *lsmkv.DB, cfg Config) (Stats, error) {
+func Load(db Store, cfg Config) (Stats, error) {
 	cfg.fill()
 	rng := sim.NewRNG(cfg.Seed)
 	var st Stats
@@ -97,7 +112,7 @@ func Load(db *lsmkv.DB, cfg Config) (Stats, error) {
 }
 
 // Run executes the run phase of workload w against a loaded store.
-func Run(db *lsmkv.DB, w Workload, cfg Config) (Stats, error) {
+func Run(db Store, w Workload, cfg Config) (Stats, error) {
 	cfg.fill()
 	rng := sim.NewRNG(cfg.Seed ^ uint64(w))
 	zipf := sim.NewZipfian(rng, int64(cfg.Records))
@@ -142,7 +157,8 @@ func Run(db *lsmkv.DB, w Workload, cfg Config) (Stats, error) {
 		st.Scans++
 		start := key(zipf.ScrambledNext())
 		n := rng.Intn(cfg.MaxScan) + 1
-		_, err := db.Scan(start, n)
+		kvs, err := db.Scan(start, n)
+		st.ScanRows += int64(len(kvs))
 		return err
 	}
 	rmw := func() error {
