@@ -15,8 +15,14 @@
 // Usage:
 //
 //	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
-//	           [-sample N] [-metadata] [-double-crash] [-double-sample N]
+//	           [-sample N] [-metadata] [-async] [-served]
+//	           [-double-crash] [-double-sample N]
 //	           [-minimize] [-out FILE] [-workers N] [-v]
+//
+// -served adds differential campaigns through the multi-tenant file
+// service (internal/server): every generated trace runs via a served:
+// session over all nine backends and must land byte-identical to the
+// direct ext4-dax reference.
 //
 // -out FILE writes a report of any violations — including the minimized
 // reproducer when -minimize is set — to FILE, so a scheduled run can
@@ -48,6 +54,7 @@ func main() {
 	sample := flag.Int("sample", 0, "max events tested per workload (0 = every persistence event)")
 	metadata := flag.Bool("metadata", false, "add metadata-heavy workloads (create/unlink/rename/truncate/mkdir)")
 	async := flag.Bool("async", false, "add async-relink workloads (multi-file fsyncs + group syncs through the background pipeline)")
+	served := flag.Bool("served", false, "add served-backend differential campaigns: each trace through the session/RPC layer over all nine backends must match direct ext4-dax byte for byte")
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
 	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
 	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
@@ -96,6 +103,45 @@ func main() {
 						DoubleCrash: *doubleCrash, DoubleSample: *doubleSample},
 				})
 			}
+		}
+	}
+
+	// Served-backend differential campaigns run up front (they are
+	// cheap relative to event sweeps and need no worker pool): the same
+	// generated traces the event campaigns use go through the
+	// multi-tenant service over every backend, and the final namespaces
+	// and contents must equal the direct ext4-dax reference exactly.
+	servedFailed := false
+	if *served {
+		kinds := append([]string{"ext4-dax"}, crash.ServedBackendKinds()...)
+		families := []struct {
+			name string
+			gen  func(uint64, int) []crash.Op
+		}{
+			{"write", crash.RandomOps},
+			{"meta", crash.MetadataOps},
+			{"async", crash.AsyncOps},
+		}
+		ran, mismatches := 0, 0
+		for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+			for _, fam := range families {
+				res, err := crash.DifferentialOver(kinds, fam.gen(seed*31, *nops), 0)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crashcheck: served/%s/seed%d: %v\n", fam.name, seed, err)
+					servedFailed = true
+					continue
+				}
+				ran++
+				for _, m := range res.Mismatches {
+					fmt.Printf("SERVED MISMATCH %s/seed%d: %s\n", fam.name, seed, m)
+					mismatches++
+				}
+			}
+		}
+		fmt.Printf("crashcheck: served differential: %d traces x %d backends, %d mismatches\n",
+			ran, len(kinds)-1, mismatches)
+		if mismatches > 0 {
+			servedFailed = true
 		}
 	}
 
@@ -235,7 +281,7 @@ func main() {
 			fmt.Printf("violation report written to %s\n", *outPath)
 		}
 	}
-	if len(violations) > 0 || failed {
+	if len(violations) > 0 || failed || servedFailed {
 		os.Exit(1)
 	}
 }

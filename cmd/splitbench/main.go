@@ -25,10 +25,13 @@
 // clean perf trajectory across revisions.
 //
 // The macro matrix's deterministic counters (fences/op, journal commits,
-// log appends, relink/reclaim counts, PM bytes) are additionally pinned
-// by BENCH_baseline.json: -check-baseline recomputes them and fails on
-// any drift; -update-baseline rewrites the baseline after an intentional
-// change (the documented escape hatch the CI bench job points at).
+// log appends, relink/reclaim counts, PM bytes) — and the server
+// experiment's loopback cells, which pin the file service's
+// transparency — are additionally held by BENCH_baseline.json:
+// -check-baseline recomputes them and fails on any drift;
+// -update-baseline rewrites the baseline after an intentional change
+// (the documented escape hatch the CI bench job points at). Baseline
+// runs with no experiment named run both gated experiments.
 package main
 
 import (
@@ -132,9 +135,10 @@ func main() {
 	}
 	ids := append(splitList(*experiment), args...)
 	if len(ids) == 0 && (*checkBaseline || *updateBaseline) {
-		// The baseline covers exactly the macro matrix; gate runs that
-		// name no experiment mean "run the matrix".
-		ids = []string{"macro"}
+		// The baseline covers the macro matrix plus the server
+		// experiment's loopback cells; gate runs that name no experiment
+		// mean "run everything the baseline pins".
+		ids = []string{"macro", "server"}
 	}
 	var exps []harness.Experiment
 	if len(ids) == 0 {
@@ -152,7 +156,7 @@ func main() {
 	failed := false
 	rev := gitRev()
 	var recs []benchfmt.Record
-	ranMacro := false
+	ranMacro, ranServer := false, false
 	for _, e := range exps {
 		tbl, err := e.Run()
 		if err != nil {
@@ -160,8 +164,11 @@ func main() {
 			failed = true
 			continue
 		}
-		if e.ID == "macro" {
+		switch e.ID {
+		case "macro":
 			ranMacro = true
+		case "server":
+			ranServer = true
 		}
 		tbl.Render(os.Stdout)
 		for _, m := range tbl.Metrics {
@@ -178,8 +185,23 @@ func main() {
 			fmt.Printf("wrote %d metrics to %s (rev %s)\n", len(recs), *jsonPath, rev)
 		}
 	}
-	if (*checkBaseline || *updateBaseline) && !ranMacro {
-		fmt.Fprintln(os.Stderr, "splitbench: baseline operations need the macro experiment in the run")
+	// The baseline can be *checked* per gated experiment (a CI job may
+	// gate only the experiment it ran), but *rewritten* only from a run
+	// covering everything it pins — a partial update would silently drop
+	// the other experiment's rows.
+	var ranGated []string
+	if ranMacro {
+		ranGated = append(ranGated, "macro")
+	}
+	if ranServer {
+		ranGated = append(ranGated, "server")
+	}
+	if *checkBaseline && len(ranGated) == 0 {
+		fmt.Fprintln(os.Stderr, "splitbench: -check-baseline needs a gated experiment (macro or server) in the run")
+		failed = true
+	}
+	if *updateBaseline && !(ranMacro && ranServer) {
+		fmt.Fprintln(os.Stderr, "splitbench: -update-baseline needs both the macro and server experiments in the run")
 		failed = true
 	}
 	// The baseline pins the full smoke-scale matrix; recording or
@@ -190,7 +212,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "splitbench: baseline operations require -scale smoke and no -backend/-workload restriction")
 		os.Exit(2)
 	}
-	if *updateBaseline && ranMacro {
+	if *updateBaseline && ranMacro && ranServer {
 		gated := benchfmt.GatedSubset(recs)
 		if err := benchfmt.Save(*baselinePath, gated); err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: write %s: %v\n", *baselinePath, err)
@@ -198,12 +220,12 @@ func main() {
 		} else {
 			fmt.Printf("baseline %s updated: %d pinned counters (rev %s)\n", *baselinePath, len(gated), rev)
 		}
-	} else if *checkBaseline && ranMacro {
+	} else if *checkBaseline && len(ranGated) > 0 {
 		base, err := benchfmt.Load(*baselinePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: load baseline %s: %v\n", *baselinePath, err)
 			failed = true
-		} else if drifts := benchfmt.DiffBaseline(base, recs); len(drifts) > 0 {
+		} else if drifts := benchfmt.DiffBaseline(base, recs, ranGated); len(drifts) > 0 {
 			fmt.Fprintf(os.Stderr, "splitbench: %d deterministic counter(s) drifted from %s:\n", len(drifts), *baselinePath)
 			for _, d := range drifts {
 				fmt.Fprintf(os.Stderr, "  %s\n", d)

@@ -1,6 +1,9 @@
 // Command splitfs-shell is an interactive shell over a SplitFS stack:
 // create, write, read, fsync, crash, and recover files on the simulated
-// PM device, watching the virtual clock.
+// PM device, watching the virtual clock. With -connect it speaks to a
+// running splitfsd over its unix socket instead, as one confined client
+// session of the multi-tenant service (crash/recover/stats/time are
+// daemon-side state and are unavailable remotely).
 //
 // Commands:
 //
@@ -10,39 +13,61 @@
 //	fsync <path>           relink staged data
 //	rm <path>              unlink
 //	stat <path>            file info
-//	crash                  simulate power failure (torn lines)
-//	recover                remount + replay
-//	stats                  U-Split and device counters
-//	time                   simulated clock
+//	crash                  simulate power failure (torn lines; local only)
+//	recover                remount + replay (local only)
+//	stats                  U-Split and device counters (local only)
+//	time                   simulated clock (local only)
 //	quit
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	root "splitfs"
+	"splitfs/internal/server"
 	"splitfs/internal/vfs"
 )
 
 func main() {
+	connect := flag.String("connect", "", "unix socket of a running splitfsd (empty = local in-process stack)")
+	sessRoot := flag.String("root", "/", "session root when connecting (the served subtree this shell is confined to)")
+	flag.Parse()
+
 	mode := root.Strict
-	stack, err := root.NewStack(root.StackConfig{Mode: mode, TrackPersistence: true})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var fs vfs.FileSystem
+	var stack *root.Stack
+	if *connect != "" {
+		c, err := server.DialNet("unix", *connect, *sessRoot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		fs = c
+		fmt.Printf("splitfs-shell: connected to %s on %s (session root %s). 'help' for commands.\n",
+			c.Name(), *connect, *sessRoot)
+	} else {
+		var err error
+		stack, err = root.NewStack(root.StackConfig{Mode: mode, TrackPersistence: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fs = stack.FS
+		fmt.Printf("splitfs-shell: %s on a %d MB simulated PM device. 'help' for commands.\n",
+			stack.FS.Name(), stack.Device.Size()>>20)
 	}
-	fmt.Printf("splitfs-shell: %s on a %d MB simulated PM device. 'help' for commands.\n",
-		stack.FS.Name(), stack.Device.Size()>>20)
 	sc := bufio.NewScanner(os.Stdin)
 	handles := map[string]vfs.File{}
 	open := func(p string) (vfs.File, error) {
 		if h, ok := handles[p]; ok {
 			return h, nil
 		}
-		h, err := stack.FS.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
+		h, err := fs.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
 		if err == nil {
 			handles[p] = h
 		}
@@ -53,6 +78,13 @@ func main() {
 			h.Close()
 			delete(handles, p)
 		}
+	}
+	localOnly := func(cmd string) bool {
+		if stack == nil {
+			fmt.Printf("%s is unavailable over a remote session (daemon-side state)\n", cmd)
+			return false
+		}
+		return true
 	}
 	for {
 		fmt.Print("splitfs> ")
@@ -81,7 +113,7 @@ func main() {
 			}
 		case "cat":
 			var data []byte
-			if data, err = vfs.ReadFile(stack.FS, fields[1]); err == nil {
+			if data, err = vfs.ReadFile(fs, fields[1]); err == nil {
 				fmt.Print(string(data))
 			}
 		case "ls":
@@ -90,7 +122,7 @@ func main() {
 				dir = fields[1]
 			}
 			var ents []vfs.DirEntry
-			if ents, err = stack.FS.ReadDir(dir); err == nil {
+			if ents, err = fs.ReadDir(dir); err == nil {
 				for _, e := range ents {
 					kind := "f"
 					if e.IsDir {
@@ -111,30 +143,38 @@ func main() {
 				h.Close()
 				delete(handles, fields[1])
 			}
-			err = stack.FS.Unlink(fields[1])
+			err = fs.Unlink(fields[1])
 		case "stat":
 			var info vfs.FileInfo
-			if info, err = stack.FS.Stat(fields[1]); err == nil {
+			if info, err = fs.Stat(fields[1]); err == nil {
 				fmt.Printf("ino=%d size=%d blocks=%d dir=%v\n",
 					info.Ino, info.Size, info.Blocks, info.IsDir)
 			}
 		case "crash":
+			if !localOnly(cmd) {
+				continue
+			}
 			closeAll()
 			if err = stack.Crash(42); err == nil {
 				fmt.Println("power failed; run 'recover'")
 			}
 		case "recover":
+			if !localOnly(cmd) {
+				continue
+			}
 			closeAll()
-			var report interface{ String() string }
-			_ = report
 			newStack, rep, rerr := stack.Recover(mode)
 			err = rerr
 			if err == nil {
 				stack = newStack
+				fs = stack.FS
 				fmt.Printf("recovered: %d entries, %d replayed, %.2f ms simulated\n",
 					rep.Entries, rep.Replayed, float64(rep.ReplayNs)/1e6)
 			}
 		case "stats":
+			if !localOnly(cmd) {
+				continue
+			}
 			st := stack.FS.Stats()
 			ds := stack.Device.Stats()
 			fmt.Printf("usplit: reads=%d writes=%d appends=%d relinks=%d copied=%dB log=%d\n",
@@ -142,6 +182,9 @@ func main() {
 			fmt.Printf("device: written=%dB read=%dB fences=%d maxwear=%d\n",
 				ds.BytesWritten(), ds.BytesRead, ds.Fences, stack.Device.MaxWear())
 		case "time":
+			if !localOnly(cmd) {
+				continue
+			}
 			fmt.Printf("%.3f ms simulated\n", float64(stack.Clock.Now())/1e6)
 		default:
 			fmt.Printf("unknown command %q\n", cmd)

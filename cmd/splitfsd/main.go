@@ -1,0 +1,81 @@
+// Command splitfsd serves a simulated PM file system to many client
+// processes over a unix socket — the repository's equivalent of the
+// paper's multi-process U-Split deployment (§3), built on the
+// internal/server session/RPC layer. Each connection is one confined
+// session: the client's first frame names a subtree root, and every
+// path it sends resolves inside that subtree.
+//
+// Usage:
+//
+//	splitfsd -socket /tmp/splitfs.sock -backend splitfs-strict
+//	splitfsd -backend nova-relaxed -dev-mb 256 -workers 8
+//	splitfsd -mkdirs /tenant0,/tenant1    # pre-create session roots
+//
+// Any of the nine backend kinds (crashcheck's registry) is servable.
+// The daemon owns the device: all state is in memory and vanishes on
+// exit, so splitfsd is a serving harness, not a persistence daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"splitfs/internal/crash"
+	"splitfs/internal/server"
+)
+
+func main() {
+	socket := flag.String("socket", "/tmp/splitfsd.sock", "unix socket path to listen on")
+	backend := flag.String("backend", "splitfs-strict",
+		fmt.Sprintf("backend kind to serve (one of %v)", crash.BackendKinds()))
+	devMB := flag.Int64("dev-mb", 128, "simulated PM device size in MB")
+	workers := flag.Int("workers", 0, "dispatch pool size (0 = GOMAXPROCS)")
+	mkdirs := flag.String("mkdirs", "", "comma-separated directories to pre-create (session roots)")
+	flag.Parse()
+
+	if !crash.IsBackendKind(*backend) || strings.HasPrefix(*backend, crash.ServedPrefix) {
+		fmt.Fprintf(os.Stderr, "splitfsd: unknown backend %q (have %v)\n", *backend, crash.BackendKinds())
+		os.Exit(2)
+	}
+	b, err := crash.NewBackend(*backend, crash.BackendSpec{DevBytes: *devMB << 20})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitfsd: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range strings.Split(*mkdirs, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			if err := b.FS.Mkdir(d, 0755); err != nil {
+				fmt.Fprintf(os.Stderr, "splitfsd: mkdir %s: %v\n", d, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	os.Remove(*socket) // a stale socket from a dead daemon
+	ln, err := net.Listen("unix", *socket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitfsd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.New(b.FS, server.Config{Workers: *workers})
+	fmt.Printf("splitfsd: serving %s (%d MB device) on %s\n", b.FS.Name(), *devMB, *socket)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("splitfsd: shutting down")
+		srv.Close()
+		ln.Close()
+		os.Remove(*socket)
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "splitfsd: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

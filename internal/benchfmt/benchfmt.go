@@ -122,9 +122,21 @@ var gatedSuffixes = []string{
 	"/pm_bytes",
 }
 
-// Gated reports whether a metric row belongs in the regression baseline.
+// Gated reports whether a metric row belongs in the regression baseline:
+// the macro matrix's deterministic counters, plus the server
+// experiment's loopback cells — the single-session served stream is
+// deterministic by the loopback-transport contract (requests execute
+// inline), so its counters pin both the backend AND the service layer's
+// transparency. The server experiment's wall-clock session sweep stays
+// ungated.
 func Gated(r Record) bool {
-	if r.Experiment != "macro" {
+	switch r.Experiment {
+	case "macro":
+	case "server":
+		if !strings.HasPrefix(r.Metric, "loopback/") {
+			return false
+		}
+	default:
 		return false
 	}
 	for _, s := range gatedSuffixes {
@@ -172,8 +184,15 @@ func (d Drift) String() string {
 // construction). The counters are deterministic, so the comparison is
 // exact, not statistical: any difference is a drift. Missing and new
 // rows are drifts too — a backend or workload silently dropping out of
-// the matrix must not pass the gate.
-func DiffBaseline(baseline, run []Record) []Drift {
+// the matrix must not pass the gate. ran names the experiments this run
+// executed: baseline rows of experiments that did not run are skipped
+// (so a job may gate only its own experiment), while within a ran
+// experiment a vanished row is still a drift.
+func DiffBaseline(baseline, run []Record, ran []string) []Drift {
+	inRun := make(map[string]bool, len(ran))
+	for _, e := range ran {
+		inRun[e] = true
+	}
 	key := func(r Record) string { return r.Experiment + "\x00" + r.Metric }
 	got := make(map[string]Record)
 	for _, r := range GatedSubset(run) {
@@ -182,6 +201,9 @@ func DiffBaseline(baseline, run []Record) []Drift {
 	var drifts []Drift
 	seen := make(map[string]bool)
 	for _, b := range GatedSubset(baseline) {
+		if !inRun[b.Experiment] {
+			continue
+		}
 		seen[key(b)] = true
 		g, ok := got[key(b)]
 		if !ok {

@@ -94,11 +94,18 @@ func TestGatedSelection(t *testing.T) {
 		rec("macro", "ycsb-F/splitfs-sync/relinks", 1, "r"),
 		rec("macro", "tpcc/splitfs-posix/staging_reclaimed", 1, "r"),
 		rec("macro", "ycsb-B/ext4-dax/pm_bytes", 1, "r"),
+		// The server experiment's loopback cells are deterministic by the
+		// loopback-transport contract and pin the service's transparency.
+		rec("server", "loopback/splitfs-strict/fences_per_op", 1, "r"),
+		rec("server", "loopback/ext4-dax/pm_bytes", 1, "r"),
 	}
 	ungated := []Record{
-		rec("macro", "ycsb-A/pmfs/ns_per_op", 1, "r"), // cost-model dependent
-		rec("macro", "ycsb-A/pmfs/mix_reads", 1, "r"), // mix, not a counter
-		rec("scaling", "x/fences_per_op", 1, "r"),     // not the macro matrix
+		rec("macro", "ycsb-A/pmfs/ns_per_op", 1, "r"),                 // cost-model dependent
+		rec("macro", "ycsb-A/pmfs/mix_reads", 1, "r"),                 // mix, not a counter
+		rec("scaling", "x/fences_per_op", 1, "r"),                     // not a gated experiment
+		rec("server", "loopback/ext4-dax/wall_ns_per_op", 1, "r"),     // wall clock
+		rec("server", "direct/ext4-dax/fences_per_op", 1, "r"),        // covered by loopback == direct test
+		rec("server", "sessions/splitfs-strict/t8_kops_wall", 1, "r"), // concurrent mode
 	}
 	for _, r := range gated {
 		if !Gated(r) {
@@ -127,13 +134,13 @@ func TestDiffBaselineCatchesInjectedRegression(t *testing.T) {
 		rec("macro", "ycsb-A/splitfs-strict/pm_bytes", 2862080, "new"),
 		rec("macro", "ycsb-A/splitfs-strict/ns_per_op", 8825.7, "new"), // ungated extra
 	}
-	if drifts := DiffBaseline(baseline, clean); len(drifts) != 0 {
+	if drifts := DiffBaseline(baseline, clean, []string{"macro"}); len(drifts) != 0 {
 		t.Fatalf("clean run flagged: %v", drifts)
 	}
 
 	regressed := append([]Record(nil), clean...)
 	regressed[0].Value = 4.52 // injected: one extra fence per op
-	drifts := DiffBaseline(baseline, regressed)
+	drifts := DiffBaseline(baseline, regressed, []string{"macro"})
 	if len(drifts) != 1 {
 		t.Fatalf("injected regression produced %d drifts, want 1: %v", len(drifts), drifts)
 	}
@@ -144,13 +151,38 @@ func TestDiffBaselineCatchesInjectedRegression(t *testing.T) {
 
 	// A cell silently vanishing from the matrix is drift too.
 	missing := clean[:1]
-	if drifts := DiffBaseline(baseline, missing); len(drifts) != 1 {
+	if drifts := DiffBaseline(baseline, missing, []string{"macro"}); len(drifts) != 1 {
 		t.Errorf("missing row produced %d drifts, want 1", len(drifts))
 	}
 	// And so is a new gated cell the baseline has never seen.
 	extra := append([]Record(nil), clean...)
 	extra = append(extra, rec("macro", "ycsb-A/zfs/fences_per_op", 1, "new"))
-	if drifts := DiffBaseline(baseline, extra); len(drifts) != 1 {
+	if drifts := DiffBaseline(baseline, extra, []string{"macro"}); len(drifts) != 1 {
 		t.Errorf("new gated row produced %d drifts, want 1", len(drifts))
+	}
+}
+
+// TestDiffBaselineScopedToRanExperiments: a job that ran only one gated
+// experiment must not be failed by the other's baseline rows, while
+// rows of the ran experiment still gate fully.
+func TestDiffBaselineScopedToRanExperiments(t *testing.T) {
+	baseline := []Record{
+		rec("macro", "ycsb-A/pmfs/fences_per_op", 2, "old"),
+		rec("server", "loopback/ext4-dax/fences_per_op", 3, "old"),
+	}
+	serverOnly := []Record{
+		rec("server", "loopback/ext4-dax/fences_per_op", 3, "new"),
+	}
+	if drifts := DiffBaseline(baseline, serverOnly, []string{"server"}); len(drifts) != 0 {
+		t.Fatalf("server-only run flagged macro rows: %v", drifts)
+	}
+	// The ran experiment's rows still gate: a drifted value fails.
+	serverOnly[0].Value = 4
+	if drifts := DiffBaseline(baseline, serverOnly, []string{"server"}); len(drifts) != 1 {
+		t.Fatalf("scoped check missed a drift: %v", drifts)
+	}
+	// And running both scopes everything.
+	if drifts := DiffBaseline(baseline, serverOnly, []string{"macro", "server"}); len(drifts) != 2 {
+		t.Fatalf("full scope should flag the drift and the missing macro row: %v", drifts)
 	}
 }

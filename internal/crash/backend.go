@@ -2,12 +2,14 @@ package crash
 
 import (
 	"fmt"
+	"strings"
 
 	"splitfs/internal/ext4dax"
 	"splitfs/internal/logfs"
 	"splitfs/internal/nova"
 	"splitfs/internal/pmem"
 	"splitfs/internal/pmfs"
+	"splitfs/internal/server"
 	"splitfs/internal/sim"
 	"splitfs/internal/splitfs"
 	"splitfs/internal/strata"
@@ -29,10 +31,29 @@ func BackendKinds() []string {
 	}
 }
 
-// IsBackendKind reports whether kind names a registered backend.
+// ServedPrefix marks a wrapper kind: "served:<kind>" builds <kind> and
+// serves it through the internal/server session/RPC layer over the
+// deterministic loopback transport, so any campaign or benchmark can
+// run the same workload through the multi-tenant service instead of
+// direct calls. Exactly one level of wrapping is allowed.
+const ServedPrefix = "served:"
+
+// ServedBackendKinds returns the nine backends wrapped in the service
+// layer, for matrices that compare served against direct execution.
+func ServedBackendKinds() []string {
+	kinds := BackendKinds()
+	for i, k := range kinds {
+		kinds[i] = ServedPrefix + k
+	}
+	return kinds
+}
+
+// IsBackendKind reports whether kind names a registered backend,
+// including the served: wrapper of one.
 func IsBackendKind(kind string) bool {
+	base := strings.TrimPrefix(kind, ServedPrefix)
 	for _, k := range BackendKinds() {
-		if k == kind {
+		if k == base {
 			return true
 		}
 	}
@@ -92,11 +113,36 @@ type Backend struct {
 	Clock *sim.Clock
 	Dev   *pmem.Device
 	FS    vfs.FileSystem
+	// Direct is the unwrapped file system when FS is a served: client
+	// (counters like journal commits live on the backend itself, not on
+	// the RPC proxy); nil for direct kinds.
+	Direct vfs.FileSystem
+	// Server is the service instance behind a served: kind, nil
+	// otherwise.
+	Server *server.Server
 }
 
 // NewBackend builds one backend instance of the given kind on a fresh
-// device sized by spec.
+// device sized by spec. A "served:<kind>" name builds <kind> and routes
+// every operation through an internal/server session on the
+// deterministic loopback transport.
 func NewBackend(kind string, spec BackendSpec) (*Backend, error) {
+	if base, ok := strings.CutPrefix(kind, ServedPrefix); ok {
+		if strings.HasPrefix(base, ServedPrefix) {
+			return nil, fmt.Errorf("crash: nested served backend %q", kind)
+		}
+		b, err := NewBackend(base, spec)
+		if err != nil {
+			return nil, err
+		}
+		srv := server.New(b.FS, server.Config{})
+		client, err := server.NewLoopback(srv, "/")
+		if err != nil {
+			return nil, err
+		}
+		b.Kind, b.Direct, b.Server, b.FS = kind, b.FS, srv, client
+		return b, nil
+	}
 	spec.fill()
 	clk := sim.NewClock()
 	dev := pmem.New(pmem.Config{Size: spec.DevBytes, Clock: clk})

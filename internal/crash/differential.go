@@ -79,18 +79,26 @@ func TraceHash(trace string) uint64 {
 // states against the first backend's. devBytes sizes each backend's
 // device (0 = 32 MB).
 func Differential(ops []Op, devBytes int64) (*DiffResult, error) {
+	return DifferentialOver(DiffBackends, ops, devBytes)
+}
+
+// DifferentialOver runs the suite over an explicit kind list (reference
+// first) — e.g. direct ext4-dax against every served: wrapper, which is
+// how the service layer's transparency is verified: the same trace
+// through the session/RPC stack must land byte-identically.
+func DifferentialOver(kinds []string, ops []Op, devBytes int64) (*DiffResult, error) {
 	if devBytes == 0 {
 		devBytes = defaultDevBytes
 	}
 	sys := compile(ops)
 	res := &DiffResult{
-		Reference: DiffBackends[0],
-		Backends:  append([]string(nil), DiffBackends...),
+		Reference: kinds[0],
+		Backends:  append([]string(nil), kinds...),
 		Syscalls:  len(sys),
 		Trace:     renderTrace(sys),
 	}
-	states := make(map[string]*durableState, len(DiffBackends))
-	for _, kind := range DiffBackends {
+	states := make(map[string]*durableState, len(kinds))
+	for _, kind := range kinds {
 		fs, err := newDiffFS(kind, devBytes)
 		if err != nil {
 			return nil, fmt.Errorf("diff backend %s: %w", kind, err)
@@ -122,7 +130,7 @@ func Differential(ops []Op, devBytes int64) (*DiffResult, error) {
 		states[kind] = st
 	}
 	ref := states[res.Reference]
-	for _, kind := range DiffBackends[1:] {
+	for _, kind := range kinds[1:] {
 		res.Mismatches = append(res.Mismatches, diffStates(kind, ref, states[kind])...)
 	}
 	return res, nil

@@ -1,0 +1,92 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+
+	"splitfs/internal/vfs"
+)
+
+// TestServedDifferentialEquivalence is the service-transparency gate:
+// the PR 3 differential trace, run through the lisafs-style session/RPC
+// layer (served: wrapper, loopback transport) over all nine backends,
+// must land byte-identical namespaces and contents to the direct
+// ext4-dax reference — and therefore to every direct backend, which the
+// plain differential suite already pins against the same reference.
+func TestServedDifferentialEquivalence(t *testing.T) {
+	kinds := append([]string{"ext4-dax"}, ServedBackendKinds()...)
+	for _, tc := range []struct {
+		name string
+		ops  []Op
+	}{
+		{"write", RandomOps(101, 25)},
+		{"metadata", MetadataOps(707, 30)},
+		{"async", AsyncOps(303, 25)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := DifferentialOver(kinds, tc.ops, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range res.Mismatches {
+				t.Errorf("served mismatch: %s", m)
+			}
+		})
+	}
+}
+
+// TestServedBackendRegistry pins the wrapper kind's registry behavior.
+func TestServedBackendRegistry(t *testing.T) {
+	if !IsBackendKind("served:splitfs-strict") {
+		t.Fatal("served:splitfs-strict should be a valid kind")
+	}
+	if IsBackendKind("served:nope") {
+		t.Fatal("served wrapper of an unknown kind must be invalid")
+	}
+	if _, err := NewBackend("served:served:ext4-dax", BackendSpec{}); err == nil {
+		t.Fatal("nested served wrapper must be rejected")
+	}
+	b, err := NewBackend("served:logfs", BackendSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Direct == nil || b.Server == nil {
+		t.Fatal("served backend must expose the direct FS and the server")
+	}
+	if !strings.HasPrefix(b.FS.Name(), "served:") {
+		t.Fatalf("served FS name = %q", b.FS.Name())
+	}
+	if got := len(ServedBackendKinds()); got != len(BackendKinds()) {
+		t.Fatalf("ServedBackendKinds has %d kinds", got)
+	}
+}
+
+// TestServedEventStreamMatchesDirect verifies the loopback determinism
+// claim the crash harness depends on: a single-session served run
+// issues the exact persistence-event sequence of a direct run, so the
+// device counters agree event for event.
+func TestServedEventStreamMatchesDirect(t *testing.T) {
+	ops := AsyncOps(42, 20)
+	sys := compile(ops)
+
+	run := func(kind string) (int64, int64) {
+		b, err := NewBackend(kind, BackendSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &runner{fs: b.FS, handles: map[string]vfs.File{}}
+		for i, sc := range sys {
+			if err := r.apply(sc); err != nil {
+				t.Fatalf("%s: syscall %d: %v", kind, i, err)
+			}
+		}
+		return b.Dev.Stats().Fences, b.Dev.Stats().BytesWritten()
+	}
+
+	dFences, dBytes := run("splitfs-strict")
+	sFences, sBytes := run("served:splitfs-strict")
+	if dFences != sFences || dBytes != sBytes {
+		t.Fatalf("served run diverged from direct: fences %d vs %d, bytes %d vs %d",
+			dFences, sFences, dBytes, sBytes)
+	}
+}

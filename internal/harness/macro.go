@@ -169,7 +169,13 @@ type macroCounters struct {
 
 func snapshotCounters(b *crash.Backend) macroCounters {
 	c := macroCounters{clk: b.Clock.Snapshot(), dev: b.Dev.Stats()}
-	switch fs := b.FS.(type) {
+	// A served: backend's FS is the RPC client; the journal/relink
+	// counters live on the backend behind the service.
+	fsAny := b.FS
+	if b.Direct != nil {
+		fsAny = b.Direct
+	}
+	switch fs := fsAny.(type) {
 	case *splitfs.FS:
 		c.commits = fs.KFS().Stats().Commits
 		c.relinks = fs.Stats().Relinks

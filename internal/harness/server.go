@@ -1,0 +1,341 @@
+// The server experiment: the multi-tenant file service (internal/server)
+// measured two ways. The loopback half runs one deterministic mixed op
+// stream twice per backend — directly, and through a served: session —
+// and reports the same counter set the macro matrix pins; because the
+// loopback transport executes requests inline, the served counters must
+// equal the direct ones exactly, and CI gates the loopback cells against
+// BENCH_baseline.json. The sessions half is concurrent mode: N stream
+// sessions (net.Pipe) drive one splitfs-strict instance through the
+// dispatch pool, reporting aggregate wall-clock throughput — the
+// many-clients deployment the paper's user-space service implies (§3),
+// exercising the PR 1 lock decomposition and PR 3 group commit across
+// sessions.
+package harness
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"splitfs/internal/crash"
+	"splitfs/internal/server"
+	"splitfs/internal/sim"
+	"splitfs/internal/vfs"
+)
+
+func init() {
+	register("server", "Multi-tenant file service: served-vs-direct determinism + session scaling", serverExp)
+}
+
+// serverDetBackends are the loopback-determinism cells (one journaling
+// stack, one log-structured one keeps the gated row count modest).
+var serverDetBackends = []string{"ext4-dax", "splitfs-strict"}
+
+// serverSessionCounts is the concurrent-session sweep.
+var serverSessionCounts = []int{1, 2, 4, 8}
+
+const (
+	serverStreamOps  = 400 // deterministic loopback op stream length
+	serverSessionOps = 160 // ops per session in the concurrent sweep
+)
+
+// runServerStream issues the deterministic mixed op stream against any
+// vfs.FileSystem: creates, appends, overwrites, fsyncs, reads, group
+// syncs, renames, and unlinks over a small working set. Returns the op
+// count (every loop iteration is one op).
+func runServerStream(fs vfs.FileSystem, nops int) (int64, error) {
+	rng := sim.NewRNG(4242)
+	handles := map[string]vfs.File{}
+	sizes := map[string]int64{}
+	next := 0
+	defer func() {
+		for _, f := range handles {
+			f.Close()
+		}
+	}()
+	openf := func(p string) (vfs.File, error) {
+		if f, ok := handles[p]; ok {
+			return f, nil
+		}
+		f, err := fs.OpenFile(p, vfs.O_RDWR|vfs.O_CREATE, 0644)
+		if err == nil {
+			handles[p] = f
+		}
+		return f, err
+	}
+	livePaths := func() []string {
+		var out []string
+		for i := 0; i < next; i++ {
+			p := fmt.Sprintf("/w%d", i)
+			if _, ok := sizes[p]; ok {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	for op := 0; op < nops; op++ {
+		live := livePaths()
+		roll := rng.Intn(100)
+		if len(live) == 0 {
+			roll = 0
+		}
+		switch {
+		case roll < 55: // write (append, sometimes in place), periodic fsync
+			var p string
+			if len(live) > 0 && rng.Intn(4) != 0 {
+				p = live[rng.Intn(len(live))]
+			} else {
+				p = fmt.Sprintf("/w%d", next)
+				next++
+				sizes[p] = 0
+			}
+			f, err := openf(p)
+			if err != nil {
+				return 0, err
+			}
+			data := make([]byte, rng.Intn(2048)+1)
+			for j := range data {
+				data[j] = byte(rng.Uint64())
+			}
+			off := sizes[p]
+			if off > 0 && rng.Intn(4) == 0 {
+				off = rng.Int63n(off)
+			}
+			if _, err := f.WriteAt(data, off); err != nil {
+				return 0, err
+			}
+			if end := off + int64(len(data)); end > sizes[p] {
+				sizes[p] = end
+			}
+			if rng.Intn(4) == 0 {
+				if err := f.Sync(); err != nil {
+					return 0, err
+				}
+			}
+		case roll < 75: // readback
+			p := live[rng.Intn(len(live))]
+			if _, err := vfs.ReadFile(fs, p); err != nil {
+				return 0, err
+			}
+		case roll < 85: // rename to a fresh name
+			src := live[rng.Intn(len(live))]
+			dst := fmt.Sprintf("/w%d", next)
+			next++
+			if err := fs.Rename(src, dst); err != nil {
+				return 0, err
+			}
+			sizes[dst] = sizes[src]
+			delete(sizes, src)
+			if f, ok := handles[src]; ok {
+				handles[dst] = f
+				delete(handles, src)
+			}
+		case roll < 92: // unlink (close first)
+			p := live[rng.Intn(len(live))]
+			if f, ok := handles[p]; ok {
+				if err := f.Close(); err != nil {
+					return 0, err
+				}
+				delete(handles, p)
+			}
+			if err := fs.Unlink(p); err != nil {
+				return 0, err
+			}
+			delete(sizes, p)
+		default:
+			// Group sync: the backend's own SyncAll when it has one
+			// (multi-file group commit on splitfs), else per-handle syncs
+			// in path order — the same degradation the served session and
+			// the crash runner apply, so direct and served cells issue
+			// identical operation sequences on every backend.
+			if sa, ok := fs.(interface{ SyncAll() error }); ok {
+				if err := sa.SyncAll(); err != nil {
+					return 0, err
+				}
+			} else {
+				var ps []string
+				for p := range handles {
+					ps = append(ps, p)
+				}
+				sort.Strings(ps)
+				for _, p := range ps {
+					if err := handles[p].Sync(); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+	}
+	return int64(nops), nil
+}
+
+// ServerStreamCell runs the deterministic stream on one backend kind
+// (direct or served:) and returns the macro-style counter metrics.
+func ServerStreamCell(kind string) (*MacroCell, error) {
+	b, err := crash.NewBackend(kind, crash.BackendSpec{DevBytes: 64 << 20,
+		StagingFiles: 8, StagingFileBytes: 1 << 20, OpLogBytes: 2 << 20})
+	if err != nil {
+		return nil, err
+	}
+	before := snapshotCounters(b)
+	start := time.Now()
+	ops, err := runServerStream(b.FS, serverStreamOps)
+	wallNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("server stream %s: %w", kind, err)
+	}
+	after := snapshotCounters(b)
+	cell := &MacroCell{Backend: kind, Workload: "stream", Ops: ops,
+		Metrics: cellMetrics(ops, before, after)}
+	cell.Metrics = append(cell.Metrics,
+		Metric{Name: "wall_ns_per_op", Value: float64(wallNs) / float64(ops), Unit: "ns/op-wall"})
+	return cell, nil
+}
+
+// ServedSessionsResult is one concurrent-session measurement.
+type ServedSessionsResult struct {
+	Sessions int
+	Ops      int64
+	WallNs   int64
+	Fences   int64
+	Commits  int64
+}
+
+// WallKops is aggregate wall-clock throughput in Kops/s.
+func (r ServedSessionsResult) WallKops() float64 { return kops(r.Ops, r.WallNs) }
+
+// RunServedSessions drives n concurrent stream-transport sessions, each
+// in its own subtree, over one served backend instance.
+func RunServedSessions(kind string, n, opsPerSession int) (ServedSessionsResult, error) {
+	b, err := crash.NewBackend(kind, crash.BackendSpec{DevBytes: 256 << 20,
+		StagingFiles: 4 * n, StagingFileBytes: 1 << 20, OpLogBytes: 4 << 20})
+	if err != nil {
+		return ServedSessionsResult{}, err
+	}
+	srv := server.New(b.FS, server.Config{})
+	defer srv.Close()
+	root, err := server.NewLoopback(srv, "/")
+	if err != nil {
+		return ServedSessionsResult{}, err
+	}
+	for i := 0; i < n; i++ {
+		if err := root.Mkdir(fmt.Sprintf("/s%d", i), 0755); err != nil {
+			return ServedSessionsResult{}, err
+		}
+	}
+	devBefore := b.Dev.Stats()
+	commitsBefore := snapshotCounters(b).commits
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, ss := net.Pipe()
+			go srv.ServeConn(ss)
+			c, err := server.Dial(cs, fmt.Sprintf("/s%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			f, err := c.OpenFile("/data", vfs.O_RDWR|vfs.O_CREATE, 0644)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer f.Close()
+			blk := make([]byte, 1024)
+			for op := 0; op < opsPerSession; op++ {
+				if _, err := f.Write(blk); err != nil {
+					errs <- err
+					return
+				}
+				if op%8 == 7 {
+					if err := f.Sync(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- f.Sync()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return ServedSessionsResult{}, err
+		}
+	}
+	res := ServedSessionsResult{
+		Sessions: n,
+		Ops:      int64(n) * int64(opsPerSession),
+		WallNs:   time.Since(start).Nanoseconds(),
+		Fences:   b.Dev.Stats().Fences - devBefore.Fences,
+		Commits:  snapshotCounters(b).commits - commitsBefore,
+	}
+	return res, nil
+}
+
+// serverExp renders the experiment table and metrics. Loopback rows are
+// deterministic and baseline-gated (prefix "loopback/"); the session
+// sweep is wall-clock and ungated.
+func serverExp() (*Table, error) {
+	t := &Table{
+		ID:    "server",
+		Title: "Multi-tenant file service: loopback determinism + concurrent sessions",
+		Note: "loopback counters are deterministic and CI-gated against BENCH_baseline.json; " +
+			"session throughput is wall clock (needs GOMAXPROCS >= sessions to scale)",
+		Headers: []string{"Cell", "Backend", "ops", "fences/op", "commits", "PM MB", "Kops/s (wall)"},
+	}
+	for _, kind := range serverDetBackends {
+		direct, err := ServerStreamCell(kind)
+		if err != nil {
+			return nil, err
+		}
+		served, err := ServerStreamCell(crash.ServedPrefix + kind)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []struct {
+			label string
+			cell  *MacroCell
+		}{{"direct", direct}, {"loopback", served}} {
+			m := map[string]float64{}
+			for _, mm := range c.cell.Metrics {
+				m[mm.Name] = mm.Value
+			}
+			t.Rows = append(t.Rows, []string{
+				c.label, kind, fmt.Sprintf("%d", c.cell.Ops),
+				f2(m["fences_per_op"]),
+				fmt.Sprintf("%.0f", m["journal_commits"]),
+				f2(m["pm_bytes"] / (1 << 20)),
+				"-",
+			})
+			for _, mm := range c.cell.Metrics {
+				t.AddMetric(c.label+"/"+kind+"/"+mm.Name, mm.Value, mm.Unit)
+			}
+		}
+	}
+	for _, n := range serverSessionCounts {
+		r, err := RunServedSessions("splitfs-strict", n, serverSessionOps)
+		if err != nil {
+			return nil, fmt.Errorf("served sessions x%d: %w", n, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("sessions x%d", n), "splitfs-strict",
+			fmt.Sprintf("%d", r.Ops),
+			f2(float64(r.Fences) / float64(r.Ops)),
+			fmt.Sprintf("%d", r.Commits),
+			"-",
+			f1(r.WallKops()),
+		})
+		t.AddMetric(fmt.Sprintf("sessions/splitfs-strict/t%d_kops_wall", n), r.WallKops(), "kops/s-wall")
+	}
+	return t, nil
+}

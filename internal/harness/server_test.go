@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+
+	"splitfs/internal/crash"
+)
+
+// metricMap indexes a cell's metrics, dropping the wall-clock row (the
+// only nondeterministic one).
+func metricMap(c *MacroCell) map[string]float64 {
+	m := map[string]float64{}
+	for _, mm := range c.Metrics {
+		if mm.Name == "wall_ns_per_op" {
+			continue
+		}
+		m[mm.Name] = mm.Value
+	}
+	return m
+}
+
+// TestServerStreamServedMatchesDirect pins the loopback-transparency
+// property the baseline gate relies on: the deterministic stream issues
+// the identical backend-operation sequence direct and served, so every
+// sim-derived counter matches exactly.
+func TestServerStreamServedMatchesDirect(t *testing.T) {
+	for _, kind := range serverDetBackends {
+		direct, err := ServerStreamCell(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, err := ServerStreamCell(crash.ServedPrefix + kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, sm := metricMap(direct), metricMap(served)
+		for name, dv := range dm {
+			if sv, ok := sm[name]; !ok || sv != dv {
+				t.Errorf("%s: %s direct=%v served=%v", kind, name, dv, sm[name])
+			}
+		}
+	}
+}
+
+// TestServerStreamDeterminism: two fresh processes-worth of state must
+// agree on every counter (the property that lets CI pin the loopback
+// cells in BENCH_baseline.json).
+func TestServerStreamDeterminism(t *testing.T) {
+	a, err := ServerStreamCell("served:splitfs-strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ServerStreamCell("served:splitfs-strict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := metricMap(a), metricMap(b)
+	for name, av := range am {
+		if bv := bm[name]; bv != av {
+			t.Errorf("rerun drift: %s %v vs %v", name, av, bv)
+		}
+	}
+}
+
+// TestRunServedSessionsSmoke drives a small concurrent sweep end to end.
+func TestRunServedSessionsSmoke(t *testing.T) {
+	r, err := RunServedSessions("splitfs-strict", 3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 72 {
+		t.Fatalf("ops = %d, want 72", r.Ops)
+	}
+	if r.Fences <= 0 || r.Commits <= 0 {
+		t.Fatalf("no device activity recorded: fences=%d commits=%d", r.Fences, r.Commits)
+	}
+}

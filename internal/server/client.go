@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"splitfs/internal/vfs"
+)
+
+// transport is how a Client reaches a server: either the deterministic
+// in-process loopback or a framed byte stream.
+type transport interface {
+	// call issues one request and returns the matching reply frame.
+	call(typ uint8, payload []byte) (uint8, []byte, error)
+	close() error
+}
+
+// Client is a connected session implementing vfs.FileSystem, so every
+// workload in the repository runs unmodified through the service.
+type Client struct {
+	t      transport
+	fsName string
+}
+
+// File is a served file handle. All state (offset included) lives
+// server-side; File is a thin proxy, so semantics — O_APPEND writes,
+// shared-offset dup behavior, EOF — are exactly the backend's own.
+type File struct {
+	c      *Client
+	handle uint64
+	path   string
+}
+
+// call checks the request encoder, unwraps Rerror replies, and checks
+// the reply type. e may be nil for bodyless requests.
+func (c *Client) call(typ uint8, want uint8, e *enc) ([]byte, error) {
+	var payload []byte
+	if e != nil {
+		if e.err != nil {
+			return nil, e.err
+		}
+		payload = e.b
+	}
+	rtyp, rp, err := c.t.call(typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == rError {
+		return nil, decodeError(rp)
+	}
+	if rtyp != want {
+		return nil, fmt.Errorf("server: %s reply to %s", msgName(rtyp), msgName(typ))
+	}
+	return rp, nil
+}
+
+// Name identifies the stack: "served:" + the backend's own name.
+func (c *Client) Name() string { return "served:" + c.fsName }
+
+// OpenFile opens path (relative to the session root) on the server and
+// returns a proxy handle.
+func (c *Client) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
+	var e enc
+	e.u32(uint32(flag))
+	e.u32(perm)
+	e.str(path)
+	rp, err := c.call(tOpen, rOpen, &e)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: rp}
+	h := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &File{c: c, handle: h, path: path}, nil
+}
+
+func (c *Client) pathOp(typ, want uint8, path string) error {
+	var e enc
+	e.str(path)
+	_, err := c.call(typ, want, &e)
+	return err
+}
+
+// Mkdir implements vfs.FileSystem.
+func (c *Client) Mkdir(path string, perm uint32) error {
+	var e enc
+	e.u32(perm)
+	e.str(path)
+	_, err := c.call(tMkdir, rMkdir, &e)
+	return err
+}
+
+// Unlink implements vfs.FileSystem.
+func (c *Client) Unlink(path string) error { return c.pathOp(tUnlink, rUnlink, path) }
+
+// Rmdir implements vfs.FileSystem.
+func (c *Client) Rmdir(path string) error { return c.pathOp(tRmdir, rRmdir, path) }
+
+// Rename implements vfs.FileSystem.
+func (c *Client) Rename(oldPath, newPath string) error {
+	var e enc
+	e.str(oldPath)
+	e.str(newPath)
+	_, err := c.call(tRename, rRename, &e)
+	return err
+}
+
+// Stat implements vfs.FileSystem.
+func (c *Client) Stat(path string) (vfs.FileInfo, error) {
+	var e enc
+	e.str(path)
+	rp, err := c.call(tStat, rStat, &e)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	d := dec{b: rp}
+	fi := d.fileInfo()
+	return fi, d.err
+}
+
+// ReadDir implements vfs.FileSystem.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	var e enc
+	e.str(path)
+	rp, err := c.call(tReadDir, rReadDir, &e)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: rp}
+	n := int(d.u32())
+	ents := make([]vfs.DirEntry, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		de := vfs.DirEntry{Name: d.str(), Ino: d.u64()}
+		de.IsDir = d.u8() == 1
+		ents = append(ents, de)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return ents, nil
+}
+
+// SyncAll asks the server for a group sync: the backend's own SyncAll
+// when it has one (splitfs's group-committed multi-file drain), else a
+// per-handle sync of this session's open files in path order.
+func (c *Client) SyncAll() error {
+	_, err := c.call(tSyncAll, rSyncAll, nil)
+	return err
+}
+
+// Close detaches the session (the server closes any handles left open)
+// and releases the transport.
+func (c *Client) Close() error {
+	_, derr := c.call(tDetach, rDetach, nil)
+	cerr := c.t.close()
+	if derr != nil {
+		return derr
+	}
+	return cerr
+}
+
+// ---------------------------------------------------------------------
+// File proxy.
+
+// Path implements vfs.File.
+func (f *File) Path() string { return f.path }
+
+func (f *File) handleOp(typ, want uint8) error {
+	var e enc
+	e.u64(f.handle)
+	_, err := f.c.call(typ, want, &e)
+	return err
+}
+
+// Read reads at the server-side handle offset.
+func (f *File) Read(p []byte) (int, error) { return f.readLoop(tRead, rRead, p, -1) }
+
+// ReadAt is positional (pread).
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vfs.ErrInval
+	}
+	return f.readLoop(tPread, rPread, p, off)
+}
+
+// readLoop chunks a read through bounded frames. off < 0 selects the
+// handle-offset variant; EOF after at least one byte reads as a short
+// read (the io contract every backend here follows).
+func (f *File) readLoop(typ, want uint8, p []byte, off int64) (int, error) {
+	total := 0
+	for total < len(p) {
+		n := len(p) - total
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		var e enc
+		e.u64(f.handle)
+		if off >= 0 {
+			e.i64(off + int64(total))
+		}
+		e.u32(uint32(n))
+		rp, err := f.c.call(typ, want, &e)
+		if err != nil {
+			if err == io.EOF && total > 0 {
+				return total, nil
+			}
+			return total, err
+		}
+		d := dec{b: rp}
+		data := d.bytes()
+		if d.err != nil {
+			return total, d.err
+		}
+		copy(p[total:], data)
+		total += len(data)
+		if len(data) < n {
+			break // the backend clamped at EOF
+		}
+	}
+	return total, nil
+}
+
+// Write writes at the server-side handle offset (EOF under O_APPEND).
+func (f *File) Write(p []byte) (int, error) { return f.writeLoop(tWrite, rWrite, p, -1) }
+
+// WriteAt is positional (pwrite).
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, vfs.ErrInval
+	}
+	return f.writeLoop(tPwrite, rPwrite, p, off)
+}
+
+func (f *File) writeLoop(typ, want uint8, p []byte, off int64) (int, error) {
+	total := 0
+	for {
+		n := len(p) - total
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		var e enc
+		e.u64(f.handle)
+		if off >= 0 {
+			e.i64(off + int64(total))
+		}
+		e.bytes(p[total : total+n])
+		rp, err := f.c.call(typ, want, &e)
+		if err != nil {
+			return total, err
+		}
+		d := dec{b: rp}
+		got := int(d.u32())
+		if d.err != nil {
+			return total, d.err
+		}
+		total += got
+		if got < n || total >= len(p) {
+			return total, nil
+		}
+	}
+}
+
+// Seek implements vfs.File (the offset lives server-side).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var e enc
+	e.u64(f.handle)
+	e.i64(offset)
+	e.u8(uint8(whence))
+	rp, err := f.c.call(tSeek, rSeek, &e)
+	if err != nil {
+		return 0, err
+	}
+	d := dec{b: rp}
+	pos := d.i64()
+	return pos, d.err
+}
+
+// Truncate implements vfs.File.
+func (f *File) Truncate(size int64) error {
+	var e enc
+	e.u64(f.handle)
+	e.i64(size)
+	_, err := f.c.call(tTruncate, rTruncate, &e)
+	return err
+}
+
+// Sync implements vfs.File (fsync through the service).
+func (f *File) Sync() error { return f.handleOp(tFsync, rFsync) }
+
+// Close implements vfs.File.
+func (f *File) Close() error { return f.handleOp(tClose, rClose) }
+
+// Stat implements vfs.File (fstat on the server-side handle, so it
+// works on orphaned — unlinked-while-open — files too).
+func (f *File) Stat() (vfs.FileInfo, error) {
+	var e enc
+	e.u64(f.handle)
+	rp, err := f.c.call(tFstat, rFstat, &e)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	d := dec{b: rp}
+	fi := d.fileInfo()
+	return fi, d.err
+}
+
+// ---------------------------------------------------------------------
+// Stream transport: frames over any io.ReadWriteCloser (unix socket,
+// net.Pipe), with request-ID multiplexing so callers may pipeline.
+
+type streamTransport struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+
+	writeMu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan frameResp
+	dead    error
+}
+
+type frameResp struct {
+	typ     uint8
+	payload []byte
+}
+
+// Dial attaches a session over a connected stream. root confines the
+// session ("" or "/" = the backend's whole tree).
+func Dial(rwc io.ReadWriteCloser, root string) (*Client, error) {
+	t := &streamTransport{
+		rwc:     rwc,
+		br:      bufio.NewReaderSize(rwc, 64<<10),
+		pending: make(map[uint32]chan frameResp),
+	}
+	// Attach synchronously before the demux loop starts.
+	var e enc
+	e.str(root)
+	if e.err != nil {
+		rwc.Close()
+		return nil, e.err
+	}
+	if err := writeFrame(rwc, tAttach, 0, e.b); err != nil {
+		rwc.Close()
+		return nil, err
+	}
+	rtyp, _, rp, err := readFrame(t.br)
+	if err != nil {
+		rwc.Close()
+		return nil, fmt.Errorf("server: attach: %w", err)
+	}
+	if rtyp == rError {
+		rwc.Close()
+		return nil, decodeError(rp)
+	}
+	if rtyp != rAttach {
+		rwc.Close()
+		return nil, fmt.Errorf("server: attach reply %s", msgName(rtyp))
+	}
+	d := dec{b: rp}
+	name := d.str()
+	d.u64() // session id (diagnostic)
+	if d.err != nil {
+		rwc.Close()
+		return nil, d.err
+	}
+	go t.readLoop()
+	return &Client{t: t, fsName: name}, nil
+}
+
+// DialNet connects to a network address (cmd tools use unix sockets).
+func DialNet(network, addr, root string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Dial(c, root)
+}
+
+// readLoop demultiplexes replies to their waiting callers.
+func (t *streamTransport) readLoop() {
+	for {
+		typ, reqID, payload, err := readFrame(t.br)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.mu.Lock()
+		ch, ok := t.pending[reqID]
+		delete(t.pending, reqID)
+		t.mu.Unlock()
+		if ok {
+			ch <- frameResp{typ: typ, payload: payload}
+		}
+	}
+}
+
+// fail poisons the transport: every outstanding and future call errors.
+func (t *streamTransport) fail(err error) {
+	t.mu.Lock()
+	if t.dead == nil {
+		t.dead = fmt.Errorf("server: connection lost: %w", err)
+	}
+	pending := t.pending
+	t.pending = make(map[uint32]chan frameResp)
+	t.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (t *streamTransport) call(typ uint8, payload []byte) (uint8, []byte, error) {
+	ch := make(chan frameResp, 1)
+	t.mu.Lock()
+	if t.dead != nil {
+		err := t.dead
+		t.mu.Unlock()
+		return 0, nil, err
+	}
+	t.nextID++
+	id := t.nextID
+	t.pending[id] = ch
+	t.mu.Unlock()
+
+	t.writeMu.Lock()
+	err := writeFrame(t.rwc, typ, id, payload)
+	t.writeMu.Unlock()
+	if err != nil {
+		t.mu.Lock()
+		delete(t.pending, id)
+		t.mu.Unlock()
+		t.rwc.Close()
+		return 0, nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		t.mu.Lock()
+		err := t.dead
+		t.mu.Unlock()
+		return 0, nil, err
+	}
+	return resp.typ, resp.payload, nil
+}
+
+func (t *streamTransport) close() error {
+	err := t.rwc.Close()
+	t.fail(io.ErrClosedPipe)
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Loopback transport: the deterministic in-memory pair. Each call is
+// encoded, framed, dispatched, and decoded inline on the caller's
+// goroutine — no channels, no goroutines — so a single-session served
+// stack issues the exact backend-operation sequence a direct caller
+// would, and the crash harness's persistence-event streams stay
+// bit-identical. The wire and session layers are fully exercised; only
+// the dispatcher is bypassed (FIFO ordering is trivially the caller's
+// program order).
+
+type loopbackTransport struct {
+	s  *Session
+	mu sync.Mutex // reqID + the one-frame "wire"
+	id uint32
+}
+
+// NewLoopback attaches a deterministic in-process session to srv.
+func NewLoopback(srv *Server, root string) (*Client, error) {
+	s, err := srv.attach(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{t: &loopbackTransport{s: s}, fsName: srv.fs.Name()}, nil
+}
+
+func (t *loopbackTransport) call(typ uint8, payload []byte) (uint8, []byte, error) {
+	// A detached session (Client.Close, Server.Close) must reject
+	// further calls, like the stream transport's dead-connection check —
+	// operating on it would insert handles no teardown will ever close.
+	if t.s.detached() {
+		return 0, nil, &RemoteError{Code: codeClosed, Msg: "server: session detached"}
+	}
+	t.mu.Lock()
+	t.id++
+	id := t.id
+	t.mu.Unlock()
+	// Round-trip through the real framing so the codec path is identical
+	// to the stream transport's.
+	var buf loopbackBuf
+	if err := writeFrame(&buf, typ, id, payload); err != nil {
+		return 0, nil, err
+	}
+	rtyp, rid, rp, err := readFrame(&buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	rtyp, rid, rp = t.s.handle(rtyp, rid, rp)
+	buf = loopbackBuf{}
+	if err := writeFrame(&buf, rtyp, rid, rp); err != nil {
+		return 0, nil, err
+	}
+	rtyp, _, rp, err = readFrame(&buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rtyp, rp, nil
+}
+
+func (t *loopbackTransport) close() error {
+	t.s.teardown()
+	return nil
+}
+
+// loopbackBuf is a minimal in-memory byte pipe for one frame.
+type loopbackBuf struct{ b []byte }
+
+func (l *loopbackBuf) Write(p []byte) (int, error) {
+	l.b = append(l.b, p...)
+	return len(p), nil
+}
+
+func (l *loopbackBuf) Read(p []byte) (int, error) {
+	if len(l.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, l.b)
+	l.b = l.b[n:]
+	return n, nil
+}

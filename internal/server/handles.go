@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"splitfs/internal/vfs"
+)
+
+// handleShards is the number of vfs.FDTable shards per session. Handle
+// IDs interleave across shards (id = fd*handleShards + shard), so two
+// concurrent pipelined requests on one session rarely contend on the
+// same shard lock, and a session with one outstanding request assigns
+// IDs deterministically.
+const handleShards = 8
+
+// handleTable is the per-session handle table: a sharded generalization
+// of vfs.FDTable. Each shard keeps FDTable's POSIX dup semantics and
+// close-on-teardown behavior; the table adds only the shard routing.
+type handleTable struct {
+	rr     atomic.Uint64 // round-robin insert cursor
+	shards [handleShards]*vfs.FDTable
+}
+
+func newHandleTable() *handleTable {
+	t := &handleTable{}
+	for i := range t.shards {
+		t.shards[i] = vfs.NewFDTable()
+	}
+	return t
+}
+
+// insert registers an open file and returns its wire handle ID.
+func (t *handleTable) insert(f vfs.File) uint64 {
+	shard := t.rr.Add(1) % handleShards
+	fd := t.shards[shard].Insert(f)
+	return uint64(fd)*handleShards + shard
+}
+
+func (t *handleTable) locate(id uint64) (*vfs.FDTable, int) {
+	return t.shards[id%handleShards], int(id / handleShards)
+}
+
+// get resolves a handle ID; unknown IDs return vfs.ErrBadFD.
+func (t *handleTable) get(id uint64) (vfs.File, error) {
+	tab, fd := t.locate(id)
+	return tab.Get(fd)
+}
+
+// closeHandle releases one handle, closing the file when no handle
+// refers to it (dup semantics live inside the shard).
+func (t *handleTable) closeHandle(id uint64) error {
+	tab, fd := t.locate(id)
+	return tab.Close(fd)
+}
+
+// closeAll tears down every handle in every shard. Idempotent: shards
+// empty out on the first call and further calls are no-ops.
+func (t *handleTable) closeAll() error {
+	var first error
+	for _, s := range t.shards {
+		if err := s.CloseAll(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// open reports the number of live handles.
+func (t *handleTable) open() int {
+	n := 0
+	for _, s := range t.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// files returns the distinct open files across all shards.
+func (t *handleTable) files() []vfs.File {
+	var out []vfs.File
+	for _, s := range t.shards {
+		out = append(out, s.Files()...)
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"splitfs/internal/vfs"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the dispatch pool size (default GOMAXPROCS). The pool
+	// bounds cross-session concurrency; within a session requests always
+	// execute FIFO.
+	Workers int
+}
+
+// Server multiplexes client sessions onto one vfs.FileSystem. The
+// backend must be safe for concurrent use (every backend in this
+// repository is, since the PR 1 lock decomposition); the server adds no
+// global lock of its own — distinct sessions proceed in parallel
+// through the worker pool, meeting at the backend's own fine-grained
+// locks and at ext4dax group commit.
+type Server struct {
+	fs  vfs.FileSystem
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextSess uint64
+	conns    map[*serverConn]bool
+	closed   bool
+
+	work      chan *Session
+	quit      chan struct{}
+	workersUp sync.Once
+	wg        sync.WaitGroup
+}
+
+// serverConn is one accepted stream connection (unix socket, net.Pipe).
+type serverConn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+}
+
+// New builds a server over fs. No goroutines start until the first
+// stream connection arrives, so loopback-only servers (the crash
+// harness's served: wrapper) stay goroutine-free and deterministic.
+func New(fs vfs.FileSystem, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		fs:       fs,
+		cfg:      cfg,
+		sessions: make(map[uint64]*Session),
+		conns:    make(map[*serverConn]bool),
+		work:     make(chan *Session),
+		quit:     make(chan struct{}),
+	}
+}
+
+// FS returns the served backend.
+func (srv *Server) FS() vfs.FileSystem { return srv.fs }
+
+// attach creates a session confined to root ("" or "/" = whole tree).
+// A non-root subtree must already exist as a directory.
+func (srv *Server) attach(root string, conn *serverConn) (*Session, error) {
+	root = vfs.CleanPath(root)
+	if root != "/" {
+		fi, err := srv.fs.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("attach %s: %w", root, err)
+		}
+		if !fi.IsDir {
+			return nil, vfs.WrapPath("attach", root, vfs.ErrNotDir)
+		}
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	srv.nextSess++
+	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn}
+	srv.sessions[s.id] = s
+	return s, nil
+}
+
+// detach unregisters a session (teardown calls it once).
+func (srv *Server) detach(id uint64) {
+	srv.mu.Lock()
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+}
+
+// SessionCount reports the live sessions.
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// OpenHandles reports live handles across every session.
+func (srv *Server) OpenHandles() int {
+	srv.mu.Lock()
+	sess := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sess = append(sess, s)
+	}
+	srv.mu.Unlock()
+	n := 0
+	for _, s := range sess {
+		n += s.ht.open()
+	}
+	return n
+}
+
+// startWorkers brings the dispatch pool up (first stream connection).
+func (srv *Server) startWorkers() {
+	srv.workersUp.Do(func() {
+		for i := 0; i < srv.cfg.Workers; i++ {
+			srv.wg.Add(1)
+			go func() {
+				defer srv.wg.Done()
+				for {
+					select {
+					case s := <-srv.work:
+						s.drain()
+					case <-srv.quit:
+						return
+					}
+				}
+			}()
+		}
+	})
+}
+
+// enqueue appends a request to the session queue and schedules the
+// session on the pool unless a worker already owns it — the per-session
+// FIFO rule: one worker at a time, requests in arrival order.
+func (s *Session) enqueue(req request) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return // the connection is going away; replies are undeliverable
+	}
+	s.queue = append(s.queue, req)
+	schedule := !s.running
+	if schedule {
+		s.running = true
+	}
+	s.mu.Unlock()
+	if schedule {
+		select {
+		case s.srv.work <- s:
+		case <-s.srv.quit:
+			s.teardownOwned()
+		}
+	}
+}
+
+// teardownOwned finishes teardown for a session this goroutine owns
+// (running == true was claimed but no worker will drain it).
+func (s *Session) teardownOwned() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.finishTeardown()
+}
+
+// drain executes the session's queue until it empties or the session
+// closes. Only one worker runs drain for a session at a time.
+func (s *Session) drain() {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.finishTeardown()
+			return
+		}
+		if len(s.queue) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		rtyp, rid, payload := s.handle(req.typ, req.id, req.payload)
+		s.reply(rtyp, rid, payload)
+	}
+}
+
+// reply writes one response frame. An oversized payload (a handler bug
+// — handlers bound their replies) degrades to an Rerror so one request
+// cannot wedge the connection; an I/O failure kills the connection (the
+// read loop then tears the session down).
+func (s *Session) reply(typ uint8, reqID uint32, payload []byte) {
+	if s.conn == nil {
+		return
+	}
+	if len(payload) > maxFrame-frameHeader {
+		typ, reqID, payload = encodeError(reqID, fmt.Errorf("server: %s reply exceeds the wire payload bound", msgName(typ)))
+	}
+	s.replyMu.Lock()
+	err := writeFrame(s.conn.rwc, typ, reqID, payload)
+	s.replyMu.Unlock()
+	if err != nil {
+		s.conn.rwc.Close()
+	}
+}
+
+// ServeConn speaks the wire protocol over one stream connection. The
+// first frame must be Tattach; afterwards frames are enqueued for the
+// dispatcher. ServeConn blocks until the connection fails or closes and
+// always leaves the session torn down (every handle closed) — the
+// mid-operation disconnect guarantee.
+func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
+	srv.startWorkers()
+	conn := &serverConn{rwc: rwc, br: bufio.NewReaderSize(rwc, 64<<10)}
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		rwc.Close()
+		return fmt.Errorf("server: closed")
+	}
+	srv.conns[conn] = true
+	srv.mu.Unlock()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.conns, conn)
+		srv.mu.Unlock()
+		rwc.Close()
+	}()
+
+	typ, reqID, payload, err := readFrame(conn.br)
+	if err != nil {
+		return fmt.Errorf("server: attach read: %w", err)
+	}
+	if typ != tAttach {
+		writeFrame(rwc, rError, reqID, encodeAttachError(fmt.Errorf("expected Tattach, got %s", msgName(typ))))
+		return fmt.Errorf("server: first frame %s, want Tattach", msgName(typ))
+	}
+	d := dec{b: payload}
+	root := d.str()
+	if d.err != nil {
+		return fmt.Errorf("server: malformed Tattach: %w", d.err)
+	}
+	s, err := srv.attach(root, conn)
+	if err != nil {
+		etyp, eid, ep := encodeError(reqID, err)
+		writeFrame(rwc, etyp, eid, ep)
+		return err
+	}
+	var e enc
+	e.str(srv.fs.Name())
+	e.u64(s.id)
+	if err := writeFrame(rwc, rAttach, reqID, e.b); err != nil {
+		s.teardown()
+		return err
+	}
+
+	for {
+		typ, reqID, payload, err := readFrame(conn.br)
+		if err != nil {
+			s.teardown()
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		s.enqueue(request{typ: typ, id: reqID, payload: payload})
+	}
+}
+
+func encodeAttachError(err error) []byte {
+	var e enc
+	e.u32(uint32(codeGeneric))
+	e.str(err.Error())
+	return e.b
+}
+
+// Serve accepts connections from ln until ln or the server closes.
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.mu.Lock()
+	closed := srv.closed
+	srv.mu.Unlock()
+	if closed {
+		return fmt.Errorf("server: closed")
+	}
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(c)
+	}
+}
+
+// Close tears down every session and stops the worker pool. Safe to
+// call more than once.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	conns := make([]*serverConn, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	sess := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sess = append(sess, s)
+	}
+	srv.mu.Unlock()
+
+	// Closing the connections unblocks every read loop, which tears its
+	// session down; loopback sessions (conn == nil) are torn down here.
+	for _, c := range conns {
+		c.rwc.Close()
+	}
+	for _, s := range sess {
+		if s.conn == nil {
+			s.teardown()
+		}
+	}
+	close(srv.quit)
+	srv.wg.Wait()
+	return nil
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"splitfs/internal/vfs"
+)
+
+// Session is one client's view of the served file system: a confining
+// root, a sharded handle table, and (on the stream transport) a FIFO
+// request queue drained by the dispatcher. Sessions are path-confined —
+// every client path is resolved lexically against the session root, so
+// "../.." walks clamp at the root instead of escaping it (the gofer
+// confinement rule).
+type Session struct {
+	srv  *Server
+	id   uint64
+	root string // cleaned; "/" means the whole tree
+	ht   *handleTable
+
+	mu      sync.Mutex
+	queue   []request // pending requests (stream transport only)
+	running bool      // a worker currently owns this session
+	closed  bool      // no further requests accepted
+	torn    bool      // teardown has run
+
+	conn    *serverConn // nil for loopback sessions
+	replyMu sync.Mutex  // serializes reply frames onto conn
+}
+
+// request is one decoded-enough frame waiting for dispatch.
+type request struct {
+	typ     uint8
+	id      uint32
+	payload []byte
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() uint64 { return s.id }
+
+// Root returns the session's confining root path.
+func (s *Session) Root() string { return s.root }
+
+// OpenHandles reports the session's live handle count.
+func (s *Session) OpenHandles() int { return s.ht.open() }
+
+// resolve maps a client path into the session's subtree. CleanPath
+// resolves ".." lexically and cannot ascend above "/", so the result
+// always stays under root.
+func (s *Session) resolve(p string) string {
+	c := vfs.CleanPath(p)
+	if s.root == "/" {
+		return c
+	}
+	if c == "/" {
+		return s.root
+	}
+	return s.root + c
+}
+
+// detached reports whether the session has been closed (detach,
+// disconnect, or server shutdown).
+func (s *Session) detached() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// teardown closes the session. If a worker is mid-request the teardown
+// is deferred to that worker (it observes closed and finishes it), so a
+// handle is never closed underneath an executing operation. Idempotent.
+func (s *Session) teardown() {
+	s.mu.Lock()
+	s.closed = true
+	if s.running {
+		s.mu.Unlock()
+		return // the owning worker completes the teardown
+	}
+	s.running = true
+	s.mu.Unlock()
+	s.finishTeardown()
+}
+
+// finishTeardown drops queued requests and closes every handle. Called
+// with queue ownership (running == true).
+func (s *Session) finishTeardown() {
+	s.mu.Lock()
+	if s.torn {
+		s.running = false
+		s.mu.Unlock()
+		return
+	}
+	s.torn = true
+	s.queue = nil
+	s.running = false
+	s.mu.Unlock()
+	s.ht.closeAll()
+	s.srv.detach(s.id)
+}
+
+// handle executes one request against the backend and renders the reply
+// frame. It is the single entry point for both transports: the loopback
+// calls it inline, the dispatcher calls it from a worker.
+func (s *Session) handle(typ uint8, reqID uint32, payload []byte) (uint8, uint32, []byte) {
+	d := dec{b: payload}
+	var e enc
+	var err error
+	rtyp := typ + 1 // every T* reply type is the next constant
+
+	switch typ {
+	case tDetach:
+		// Teardown completes before the Rdetach reply renders, so a
+		// client that saw the reply can rely on every handle being
+		// closed (and SessionCount reflecting the detach).
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.finishTeardown()
+	case tOpen:
+		flag := int(d.u32())
+		perm := d.u32()
+		path := d.str()
+		if d.err == nil {
+			var f vfs.File
+			if f, err = s.srv.fs.OpenFile(s.resolve(path), flag, perm); err == nil {
+				e.u64(s.ht.insert(f))
+			}
+		}
+	case tClose:
+		id := d.u64()
+		if d.err == nil {
+			err = s.ht.closeHandle(id)
+		}
+	case tRead:
+		id := d.u64()
+		n := d.u32()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				buf := make([]byte, capRead(n))
+				got, rerr := f.Read(buf)
+				if rerr != nil {
+					return rerr
+				}
+				e.bytes(buf[:got])
+				return nil
+			})
+		}
+	case tWrite:
+		id := d.u64()
+		data := d.bytes()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				got, werr := f.Write(data)
+				if werr != nil {
+					return werr
+				}
+				e.u32(uint32(got))
+				return nil
+			})
+		}
+	case tPread:
+		id := d.u64()
+		off := d.i64()
+		n := d.u32()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				buf := make([]byte, capRead(n))
+				got, rerr := f.ReadAt(buf, off)
+				if rerr != nil {
+					return rerr
+				}
+				e.bytes(buf[:got])
+				return nil
+			})
+		}
+	case tPwrite:
+		id := d.u64()
+		off := d.i64()
+		data := d.bytes()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				got, werr := f.WriteAt(data, off)
+				if werr != nil {
+					return werr
+				}
+				e.u32(uint32(got))
+				return nil
+			})
+		}
+	case tSeek:
+		id := d.u64()
+		off := d.i64()
+		whence := int(d.u8())
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				pos, serr := f.Seek(off, whence)
+				if serr != nil {
+					return serr
+				}
+				e.i64(pos)
+				return nil
+			})
+		}
+	case tTruncate:
+		id := d.u64()
+		size := d.i64()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error { return f.Truncate(size) })
+		}
+	case tFsync:
+		id := d.u64()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error { return f.Sync() })
+		}
+	case tFstat:
+		id := d.u64()
+		if d.err == nil {
+			err = s.withFile(id, func(f vfs.File) error {
+				fi, serr := f.Stat()
+				if serr != nil {
+					return serr
+				}
+				e.fileInfo(fi)
+				return nil
+			})
+		}
+	case tStat:
+		path := d.str()
+		if d.err == nil {
+			var fi vfs.FileInfo
+			if fi, err = s.srv.fs.Stat(s.resolve(path)); err == nil {
+				e.fileInfo(fi)
+			}
+		}
+	case tReadDir:
+		path := d.str()
+		if d.err == nil {
+			var ents []vfs.DirEntry
+			if ents, err = s.srv.fs.ReadDir(s.resolve(path)); err == nil {
+				e.u32(uint32(len(ents)))
+				for _, de := range ents {
+					e.str(de.Name)
+					e.u64(de.Ino)
+					if de.IsDir {
+						e.u8(1)
+					} else {
+						e.u8(0)
+					}
+				}
+				// An enormous directory must degrade to an error reply,
+				// not an oversized frame that would kill the connection.
+				if len(e.b) > maxPayload {
+					err = fmt.Errorf("server: readdir %s: %d entries exceed the wire payload bound", path, len(ents))
+				}
+			}
+		}
+	case tMkdir:
+		perm := d.u32()
+		path := d.str()
+		if d.err == nil {
+			err = s.srv.fs.Mkdir(s.resolve(path), perm)
+		}
+	case tUnlink:
+		path := d.str()
+		if d.err == nil {
+			err = s.srv.fs.Unlink(s.resolve(path))
+		}
+	case tRmdir:
+		path := d.str()
+		if d.err == nil {
+			err = s.srv.fs.Rmdir(s.resolve(path))
+		}
+	case tRename:
+		oldPath := d.str()
+		newPath := d.str()
+		if d.err == nil {
+			err = s.srv.fs.Rename(s.resolve(oldPath), s.resolve(newPath))
+		}
+	case tSyncAll:
+		err = s.syncAll()
+	default:
+		err = fmt.Errorf("server: unknown message %s", msgName(typ))
+	}
+
+	if d.err != nil {
+		err = fmt.Errorf("server: %s: %w", msgName(typ), d.err)
+	}
+	if err == nil && e.err != nil {
+		err = e.err // a reply field that cannot be encoded (over-long name)
+	}
+	if err != nil {
+		return encodeError(reqID, err)
+	}
+	return rtyp, reqID, e.b
+}
+
+// withFile resolves a handle and runs fn on it.
+func (s *Session) withFile(id uint64, fn func(vfs.File) error) error {
+	f, err := s.ht.get(id)
+	if err != nil {
+		return err
+	}
+	return fn(f)
+}
+
+// capRead bounds a read request to the payload limit; the client chunks
+// larger reads, so hitting the cap just produces a short read.
+func capRead(n uint32) int {
+	if n > maxPayload-64 {
+		return maxPayload - 64
+	}
+	return int(n)
+}
+
+// syncAll is the group-sync operation. A backend with its own SyncAll
+// (splitfs: one group-committed relink batch over every open file) uses
+// it; otherwise every live handle of this session syncs in path order —
+// the same degradation rule the crash-harness runner applies directly.
+func (s *Session) syncAll() error {
+	if sa, ok := s.srv.fs.(interface{ SyncAll() error }); ok {
+		return sa.SyncAll()
+	}
+	files := s.ht.files()
+	sort.Slice(files, func(i, j int) bool { return files[i].Path() < files[j].Path() })
+	for _, f := range files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"splitfs/internal/vfs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello wire")
+	if err := writeFrame(&buf, tOpen, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != tOpen || id != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: typ=%d id=%d payload=%q", typ, id, got)
+	}
+}
+
+func TestFrameBounds(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, maxFrame)
+	if err := writeFrame(&buf, tWrite, 1, big); !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("oversized write frame: err=%v", err)
+	}
+	// An oversized length header must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, _, _, err := readFrame(&buf); !errors.Is(err, errFrameTooBig) {
+		t.Fatalf("oversized read frame: err=%v", err)
+	}
+}
+
+func TestCodecFields(t *testing.T) {
+	var e enc
+	e.u8(7)
+	e.u32(1 << 30)
+	e.u64(1 << 60)
+	e.i64(-5)
+	e.str("päth/with/ütf8")
+	e.bytes([]byte{1, 2, 3})
+	e.fileInfo(vfs.FileInfo{Ino: 9, Size: -1, Blocks: 3, IsDir: true, Nlink: 2})
+
+	d := dec{b: e.b}
+	if got := d.u8(); got != 7 {
+		t.Fatalf("u8 = %d", got)
+	}
+	if got := d.u32(); got != 1<<30 {
+		t.Fatalf("u32 = %d", got)
+	}
+	if got := d.u64(); got != 1<<60 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := d.i64(); got != -5 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := d.str(); got != "päth/with/ütf8" {
+		t.Fatalf("str = %q", got)
+	}
+	if got := d.bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	fi := d.fileInfo()
+	if fi.Ino != 9 || fi.Size != -1 || fi.Blocks != 3 || !fi.IsDir || fi.Nlink != 2 {
+		t.Fatalf("fileInfo = %+v", fi)
+	}
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	// Reading past the end must poison, not panic.
+	if d.u64(); d.err == nil {
+		t.Fatal("decoder did not flag truncation")
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	sentinels := []error{
+		vfs.ErrNotExist, vfs.ErrExist, vfs.ErrIsDir, vfs.ErrNotDir,
+		vfs.ErrNotEmpty, vfs.ErrNoSpace, vfs.ErrBadFD, vfs.ErrInval,
+		vfs.ErrReadOnly, vfs.ErrClosed,
+	}
+	for _, want := range sentinels {
+		wrapped := vfs.WrapPath("open", "/x", want)
+		typ, _, payload := encodeError(1, wrapped)
+		if typ != rError {
+			t.Fatalf("encodeError type = %d", typ)
+		}
+		got := decodeError(payload)
+		if !errors.Is(got, want) {
+			t.Fatalf("decoded %v does not errors.Is(%v)", got, want)
+		}
+		if got.Error() != wrapped.Error() {
+			t.Fatalf("message lost: %q != %q", got.Error(), wrapped.Error())
+		}
+	}
+	// io.EOF must come back as the identical sentinel: io consumers
+	// compare with ==.
+	_, _, payload := encodeError(1, io.EOF)
+	if got := decodeError(payload); got != io.EOF {
+		t.Fatalf("EOF round trip = %v", got)
+	}
+	// Unknown errors degrade to the generic code with the message kept.
+	_, _, payload = encodeError(1, errors.New("weird backend failure"))
+	got := decodeError(payload)
+	if got.Error() != "weird backend failure" {
+		t.Fatalf("generic message = %q", got.Error())
+	}
+	var re *RemoteError
+	if !errors.As(got, &re) || re.Unwrap() != nil {
+		t.Fatalf("generic error should be a RemoteError with no sentinel, got %T", got)
+	}
+}

@@ -62,9 +62,17 @@ func (fs *FS) Unlink(path string) error {
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(path string) error {
 	fs.bookkeep()
-	if err := fs.kfs.Rmdir(path); err != nil {
+	clean := vfs.CleanPath(path)
+	if err := fs.kfs.Rmdir(clean); err != nil {
 		return err
 	}
+	// Drop the cached attributes after the kernel rmdir (the same
+	// ordering rule Unlink follows), or a later Stat would revive the
+	// removed directory from the cache. Directories have no ofile or
+	// mapping, so the attrs entry is the only cache to sweep.
+	fs.amu.Lock()
+	delete(fs.attrs, clean)
+	fs.amu.Unlock()
 	return fs.syncMeta()
 }
 

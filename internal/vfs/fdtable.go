@@ -1,6 +1,9 @@
 package vfs
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // FDTable maps small integer descriptors to open files with POSIX dup
 // semantics: Dup returns a new descriptor sharing the same open file
@@ -78,6 +81,39 @@ func (t *FDTable) Close(fd int) error {
 		return e.file.Close()
 	}
 	return nil
+}
+
+// CloseAll releases every descriptor, closing each distinct open file
+// exactly once (dup'd descriptors share one close). It is idempotent —
+// a second call on an emptied table is a no-op — which is what session
+// teardown in internal/server relies on when a client disconnects
+// mid-operation. The first close error is returned; all files are
+// closed regardless.
+func (t *FDTable) CloseAll() error {
+	t.mu.Lock()
+	groups := make(map[*int]File)
+	for fd, e := range t.fds {
+		delete(t.fds, fd)
+		*e.refs--
+		groups[e.refs] = e.file
+	}
+	var files []File
+	for refs, f := range groups {
+		if *refs == 0 {
+			files = append(files, f)
+		}
+	}
+	t.mu.Unlock()
+	// Close in path order so teardown issues a deterministic operation
+	// sequence (the crash harness replays rely on bit-identical streams).
+	sort.Slice(files, func(i, j int) bool { return files[i].Path() < files[j].Path() })
+	var first error
+	for _, f := range files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Len reports the number of live descriptors.

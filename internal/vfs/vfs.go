@@ -1,11 +1,13 @@
 // Package vfs defines the POSIX-shaped interface every file system in this
-// repository implements (ext4 DAX, PMFS, NOVA, Strata, SplitFS), plus the
-// shared error set, open flags, and a file-descriptor table with POSIX dup
+// repository implements — the nine backends of the differential and macro
+// matrices: ext4-dax, the three SplitFS modes (posix/sync/strict), the two
+// NOVA modes (strict/relaxed), PMFS, Strata, and logfs — plus the shared
+// error set, open flags, and a file-descriptor table with POSIX dup
 // semantics.
 //
 // The paper's SplitFS intercepts 35 POSIX calls via LD_PRELOAD; here the
 // equivalent seam is this interface: applications and workloads are written
-// against vfs.FileSystem and run unmodified on any of the five
+// against vfs.FileSystem and run unmodified on any of the nine
 // implementations, which is exactly the transparency property the paper
 // claims (§3.1).
 package vfs
@@ -13,6 +15,7 @@ package vfs
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // Open flags, mirroring the POSIX values the paper's applications use.
@@ -134,7 +137,10 @@ func ReadFile(fs FileSystem, path string) ([]byte, error) {
 	}
 	buf := make([]byte, info.Size)
 	n, err := f.ReadAt(buf, 0)
-	if err != nil && n != len(buf) {
+	// A clean EOF at exactly the stat'd size is the expected outcome (and
+	// what a zero-length file reports); every other error — including a
+	// non-EOF error on a full read — must propagate.
+	if err != nil && !(errors.Is(err, io.EOF) && n == len(buf)) {
 		return nil, err
 	}
 	return buf[:n], nil
@@ -161,7 +167,7 @@ func WrapPath(op, path string, err error) error {
 	return &PathError{Op: op, Path: path, Err: err}
 }
 
-// Accessible reports whether the flag permits the given kind of access.
+// Readable reports whether the flag permits reading.
 func Readable(flag int) bool { return flag&0x3 == O_RDONLY || flag&0x3 == O_RDWR }
 
 // Writable reports whether the flag permits writing.

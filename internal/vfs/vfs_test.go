@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -17,10 +18,56 @@ func TestCleanPath(t *testing.T) {
 		"/a/../b":     "/b",
 		"/../a":       "/a",
 		"a/b/../c/./": "/a/c",
+		// Leading ".." runs clamp at the root — the lexical-confinement
+		// property the server's session layer builds its subtree
+		// resolution on.
+		"..":          "/",
+		"../..":       "/",
+		"../../a":     "/a",
+		"/../../a/..": "/",
+		"..a":         "/..a", // not a dotdot component
+		// "."-only and trailing-slash shapes.
+		".":     "/",
+		"./.":   "/",
+		"./a/.": "/a",
+		"a/":    "/a",
+		"//":    "/",
+		"a//":   "/a",
 	}
 	for in, want := range cases {
 		if got := CleanPath(in); got != want {
 			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"/", nil},
+		{".", nil},
+		{"..", nil},
+		{"../../..", nil},
+		{"/a/b", []string{"a", "b"}},
+		{"a//b///c", []string{"a", "b", "c"}},
+		{"/a/../b/./c/..", []string{"b"}},
+		{"../a", []string{"a"}},
+		{"a/..", nil},
+	}
+	for _, c := range cases {
+		got := SplitPath(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
 		}
 	}
 }
@@ -31,6 +78,12 @@ func TestSplitDir(t *testing.T) {
 		{"/a", "/", "a"},
 		{"/", "/", ""},
 		{"a/b", "/a", "b"},
+		// Edge shapes the session layer leans on.
+		{"", "/", ""},
+		{"..", "/", ""},
+		{"/a/b/", "/a", "b"},
+		{"/a/../b", "/", "b"},
+		{"a/./b/..", "/", "a"},
 	}
 	for _, c := range cases {
 		d, b := SplitDir(c.in)
@@ -84,6 +137,7 @@ type fakeFile struct {
 
 func (f *fakeFile) Close() error                       { f.closed++; return nil }
 func (f *fakeFile) Seek(o int64, w int) (int64, error) { f.off = o; return o, nil }
+func (f *fakeFile) Path() string                       { return fmt.Sprintf("/fake%p", f) }
 
 func TestFDTableInsertGetClose(t *testing.T) {
 	tab := NewFDTable()
@@ -138,6 +192,67 @@ func TestFDTableErrors(t *testing.T) {
 	}
 	if err := tab.Close(42); !errors.Is(err, ErrBadFD) {
 		t.Fatal("Close of bad fd must fail")
+	}
+}
+
+func TestFDTableCloseAllTeardown(t *testing.T) {
+	tab := NewFDTable()
+	a := &fakeFile{}
+	b := &fakeFile{}
+	fdA := tab.Insert(a)
+	if _, err := tab.Dup(fdA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Dup(fdA); err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(b)
+	if err := tab.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Each distinct file closes exactly once, however many dup'd
+	// descriptors pointed at it.
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatalf("closed counts a=%d b=%d, want 1/1", a.closed, b.closed)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after CloseAll", tab.Len())
+	}
+	// Idempotent: a second teardown is a no-op.
+	if err := tab.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatalf("second CloseAll re-closed files: a=%d b=%d", a.closed, b.closed)
+	}
+	// The table stays usable after teardown.
+	fd := tab.Insert(&fakeFile{})
+	if _, err := tab.Get(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFDTableCloseAllPartiallyDupped(t *testing.T) {
+	// A file whose dup'd descriptor was individually closed first must
+	// still close exactly once at teardown.
+	tab := NewFDTable()
+	f := &fakeFile{}
+	fd := tab.Insert(f)
+	dup, err := tab.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Close(dup); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed != 0 {
+		t.Fatal("file closed while a descriptor remains")
+	}
+	if err := tab.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed != 1 {
+		t.Fatalf("closed %d times, want 1", f.closed)
 	}
 }
 
