@@ -1,0 +1,18 @@
+// This file opts into wall-clock reads and goroutine spawns.
+//
+// +determinism:wallclock
+// +determinism:concurrent
+
+package dettest
+
+import "time"
+
+// FlaggedWallclock is fine: the file declares wall-clock use.
+func FlaggedWallclock() time.Time {
+	return time.Now()
+}
+
+// FlaggedSpawn is fine: the file declares its concurrent mode.
+func FlaggedSpawn(ch chan struct{}) {
+	go func() { close(ch) }()
+}

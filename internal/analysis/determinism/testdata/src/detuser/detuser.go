@@ -1,0 +1,25 @@
+// Package detuser checks cross-package emits facts: dettest.EmitAll
+// was recorded as emitting when its package was analyzed.
+package detuser
+
+import (
+	"dettest"
+
+	"splitfs/internal/pmem"
+)
+
+// Bad emits through an imported function.
+func Bad(dev *pmem.Device, batches map[string]map[int64][]byte) {
+	for _, m := range batches { // want `map iteration emits persistence/I-O events in random order`
+		dettest.EmitAll(dev, m)
+	}
+}
+
+// OK only counts.
+func OK(batches map[string]map[int64][]byte) int {
+	n := 0
+	for _, m := range batches {
+		n += len(m)
+	}
+	return n
+}

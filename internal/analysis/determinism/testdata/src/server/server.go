@@ -1,0 +1,16 @@
+// Package server is outside the deterministic set: client scheduling
+// drives it, so wall time and goroutines are its normal mode. Nothing
+// here may be reported.
+package server
+
+import "time"
+
+// Tick uses wall time freely.
+func Tick() time.Time {
+	return time.Now()
+}
+
+// Serve spawns per-connection goroutines.
+func Serve(ch chan struct{}) {
+	go func() { close(ch) }()
+}

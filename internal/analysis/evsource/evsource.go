@@ -1,0 +1,156 @@
+// Package evsource enforces the event-source restore discipline. The
+// pmem device tags every persistence event with the current source
+// (foreground, relink worker, reclaim, recovery); SetEventSource
+// returns the previous tag precisely so callers can put it back:
+//
+//	prev := dev.SetEventSource(pmem.SrcRelinkWorker)
+//	defer dev.SetEventSource(prev)
+//
+// A switch restored manually at the end of the function leaks the
+// source on any early return or panic, and every event the caller
+// emits afterwards is misattributed — crash-point schedules and event
+// accounting silently shift. The analyzer therefore requires, per
+// function or closure body in source order:
+//
+//   - a call whose result is saved must be matched by a deferred
+//     SetEventSource call restoring that same variable;
+//   - a call whose result is discarded is legal only under an
+//     already-registered deferred restore (a mid-section retag);
+//   - deferred calls themselves are always legal.
+package evsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"splitfs/internal/analysis"
+)
+
+const name = "evsource"
+
+// Analyzer is the evsource analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "require a deferred restore for every pmem SetEventSource switch",
+	Run:  run,
+}
+
+type call struct {
+	expr     *ast.CallExpr
+	deferred bool
+	saved    *types.Var // variable the previous source was saved into
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Closures get their own scope: a defer inside a closure
+			// protects that closure, not the enclosing function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function or closure body, ignoring nested
+// closures.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var calls []call
+	ast.Inspect(body, func(in ast.Node) bool {
+		switch in := in.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if in.Call != nil && isSetEventSource(pass, in.Call) {
+				calls = append(calls, call{expr: in.Call, deferred: true})
+				return false
+			}
+		case *ast.AssignStmt:
+			// prev := dev.SetEventSource(...) — single value form.
+			if len(in.Lhs) == 1 && len(in.Rhs) == 1 {
+				if ce, ok := ast.Unparen(in.Rhs[0]).(*ast.CallExpr); ok && isSetEventSource(pass, ce) {
+					var v *types.Var
+					if id, ok := in.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							v, _ = obj.(*types.Var)
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							v, _ = obj.(*types.Var)
+						}
+					}
+					calls = append(calls, call{expr: ce, saved: v})
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isSetEventSource(pass, in) {
+				calls = append(calls, call{expr: in})
+				return false
+			}
+		}
+		return true
+	})
+
+	// Which saved variables does some deferred call restore, and where
+	// is the earliest deferred restore registered?
+	restored := map[*types.Var]bool{}
+	earliestDefer := -1
+	for i, c := range calls {
+		if !c.deferred {
+			continue
+		}
+		if earliestDefer < 0 {
+			earliestDefer = i
+		}
+		for _, arg := range c.expr.Args {
+			ast.Inspect(arg, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+						restored[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for i, c := range calls {
+		switch {
+		case c.deferred:
+		case c.saved != nil:
+			if !restored[c.saved] {
+				pass.Reportf(c.expr.Pos(),
+					"SetEventSource switch is not restored by a deferred SetEventSource(%s); an early return or panic leaks the source",
+					c.saved.Name())
+			}
+		default:
+			if earliestDefer < 0 || earliestDefer > i {
+				pass.Reportf(c.expr.Pos(),
+					"SetEventSource discards the previous source with no deferred restore in scope; save it and defer the restore")
+			}
+		}
+	}
+}
+
+// isSetEventSource matches pmem.(Device).SetEventSource calls.
+func isSetEventSource(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "SetEventSource" || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/pmem")
+}

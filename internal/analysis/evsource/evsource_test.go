@@ -1,0 +1,12 @@
+package evsource_test
+
+import (
+	"testing"
+
+	"splitfs/internal/analysis/analysistest"
+	"splitfs/internal/analysis/evsource"
+)
+
+func TestEvSource(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), evsource.Analyzer, "evtest")
+}

@@ -1,0 +1,72 @@
+// Package evtest exercises the evsource analyzer against the real pmem
+// event-source API.
+package evtest
+
+import "splitfs/internal/pmem"
+
+// OK is the canonical save-and-defer idiom.
+func OK(dev *pmem.Device) {
+	prev := dev.SetEventSource(pmem.SrcRelinkWorker)
+	defer dev.SetEventSource(prev)
+}
+
+// OKRetag switches sources mid-section under an active deferred
+// restore.
+func OKRetag(dev *pmem.Device) {
+	prev := dev.SetEventSource(pmem.SrcRelinkWorker)
+	defer dev.SetEventSource(prev)
+	dev.SetEventSource(pmem.SrcReclaim)
+}
+
+// BadManualRestore is the async.go bug shape: saved and restored, but
+// not via defer — an early return or panic leaks the source. The
+// manual restore itself also counts as an unprotected discard.
+func BadManualRestore(dev *pmem.Device, fail bool) {
+	prev := dev.SetEventSource(pmem.SrcRelinkWorker) // want `SetEventSource switch is not restored by a deferred SetEventSource\(prev\)`
+	if fail {
+		return
+	}
+	dev.SetEventSource(prev) // want `SetEventSource discards the previous source with no deferred restore in scope`
+}
+
+// BadDiscard drops the previous source outright.
+func BadDiscard(dev *pmem.Device) {
+	dev.SetEventSource(pmem.SrcReclaim) // want `SetEventSource discards the previous source with no deferred restore in scope`
+}
+
+// BadUnderscore discards through the blank identifier.
+func BadUnderscore(dev *pmem.Device) {
+	_ = dev.SetEventSource(pmem.SrcReclaim) // want `SetEventSource discards the previous source with no deferred restore in scope`
+}
+
+// BadLateDefer registers the restore after a retag already happened.
+func BadLateDefer(dev *pmem.Device) {
+	dev.SetEventSource(pmem.SrcRelinkWorker) // want `SetEventSource discards the previous source with no deferred restore in scope`
+	prev := dev.SetEventSource(pmem.SrcReclaim)
+	defer dev.SetEventSource(prev)
+}
+
+// ClosureScopes checks that closures are their own scope: the enclosing
+// defer does not protect the closure body.
+func ClosureScopes(dev *pmem.Device) func() {
+	prev := dev.SetEventSource(pmem.SrcRelinkWorker)
+	defer dev.SetEventSource(prev)
+	return func() {
+		dev.SetEventSource(pmem.SrcReclaim) // want `SetEventSource discards the previous source with no deferred restore in scope`
+	}
+}
+
+// OKClosure has its own save-and-defer inside the closure.
+func OKClosure(dev *pmem.Device) func() {
+	return func() {
+		prev := dev.SetEventSource(pmem.SrcReclaim)
+		defer dev.SetEventSource(prev)
+	}
+}
+
+// Suppressed carries a reviewed escape: teardown code that never
+// returns to event-emitting work.
+func Suppressed(dev *pmem.Device) {
+	//lint:ignore splitfs-evsource golden test exercises suppression
+	dev.SetEventSource(pmem.SrcForeground)
+}

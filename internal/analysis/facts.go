@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// Fact serialization, used by the `go vet -vettool` protocol: each
+// package's analysis runs in its own process, so facts travel through
+// the .vetx files cmd/go threads between them. A store serializes to a
+// JSON array and merges additively on load — a vetx snapshot may
+// include facts for shared dependencies, so merging must be idempotent:
+// booleans or, strings overwrite, and slice/edge sets union.
+//
+// Fact values are therefore restricted to four shapes: bool, string,
+// []string, and map[string][]string. EncodeTo fails loudly on anything
+// else so a new analyzer cannot silently break vettool mode.
+
+type factRecord struct {
+	K string          `json:"k"`
+	T string          `json:"t"`
+	V json.RawMessage `json:"v"`
+}
+
+// EncodeTo writes the store's full contents as JSON.
+func (s *FactStore) EncodeTo(w io.Writer) error {
+	records := make([]factRecord, 0, len(s.m))
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		var t string
+		switch s.m[k].(type) {
+		case bool:
+			t = "b"
+		case string:
+			t = "s"
+		case []string:
+			t = "ss"
+		case map[string][]string:
+			t = "m"
+		default:
+			return fmt.Errorf("analysis: fact %q has unsupported type %T", k, s.m[k])
+		}
+		v, err := json.Marshal(s.m[k])
+		if err != nil {
+			return err
+		}
+		records = append(records, factRecord{K: k, T: t, V: v})
+	}
+	return json.NewEncoder(w).Encode(records)
+}
+
+// MergeFrom loads a serialized store, merging into the receiver.
+func (s *FactStore) MergeFrom(r io.Reader) error {
+	var records []factRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return err
+	}
+	for _, rec := range records {
+		var v any
+		switch rec.T {
+		case "b":
+			var b bool
+			if err := json.Unmarshal(rec.V, &b); err != nil {
+				return err
+			}
+			v = b
+		case "s":
+			var str string
+			if err := json.Unmarshal(rec.V, &str); err != nil {
+				return err
+			}
+			v = str
+		case "ss":
+			var ss []string
+			if err := json.Unmarshal(rec.V, &ss); err != nil {
+				return err
+			}
+			v = ss
+		case "m":
+			var m map[string][]string
+			if err := json.Unmarshal(rec.V, &m); err != nil {
+				return err
+			}
+			v = m
+		default:
+			return fmt.Errorf("analysis: fact %q has unknown wire type %q", rec.K, rec.T)
+		}
+		s.merge(rec.K, v)
+	}
+	return nil
+}
+
+// merge combines an incoming fact with any existing value for the key.
+func (s *FactStore) merge(key string, v any) {
+	old, ok := s.m[key]
+	if !ok {
+		s.m[key] = v
+		return
+	}
+	switch nv := v.(type) {
+	case bool:
+		if ov, ok := old.(bool); ok {
+			s.m[key] = ov || nv
+			return
+		}
+	case []string:
+		if ov, ok := old.([]string); ok {
+			s.m[key] = unionStrings(ov, nv)
+			return
+		}
+	case map[string][]string:
+		if ov, ok := old.(map[string][]string); ok {
+			for k, edges := range nv {
+				ov[k] = unionStrings(ov[k], edges)
+			}
+			return
+		}
+	}
+	s.m[key] = v
+}
+
+func unionStrings(a, b []string) []string {
+	out := slices.Clone(a)
+	for _, x := range b {
+		if !slices.Contains(out, x) {
+			out = append(out, x)
+		}
+	}
+	slices.Sort(out)
+	return out
+}

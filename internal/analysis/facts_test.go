@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFactRoundTrip covers the four wire shapes and the additive merge
+// semantics the vettool protocol depends on: a vetx snapshot may repeat
+// facts for shared dependencies, so merging must be idempotent.
+func TestFactRoundTrip(t *testing.T) {
+	a := NewFactStore()
+	a.Export("t", "b", true)
+	a.Export("t", "s", "v1")
+	a.Export("t", "ss", []string{"b", "a"})
+	a.Export("t", "m", map[string][]string{"x": {"y"}})
+
+	var buf bytes.Buffer
+	if err := a.EncodeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewFactStore()
+	b.Export("t", "b", false)
+	b.Export("t", "ss", []string{"c"})
+	b.Export("t", "m", map[string][]string{"x": {"z"}, "w": {"q"}})
+	if err := b.MergeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Merging the same snapshot again must not change anything.
+	if err := b.MergeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := b.Import("t", "b"); v != true {
+		t.Errorf("bool fact: got %v, want true (merge ors)", v)
+	}
+	if v, _ := b.Import("t", "s"); v != "v1" {
+		t.Errorf("string fact: got %v, want v1", v)
+	}
+	if v, _ := b.Import("t", "ss"); !reflect.DeepEqual(v, []string{"a", "b", "c"}) {
+		t.Errorf("slice fact: got %v, want sorted union [a b c]", v)
+	}
+	want := map[string][]string{"x": {"y", "z"}, "w": {"q"}}
+	if v, _ := b.Import("t", "m"); !reflect.DeepEqual(v, want) {
+		t.Errorf("map fact: got %v, want %v", v, want)
+	}
+}
+
+// TestFactEncodeRejectsUnsupported: a new analyzer exporting an
+// unserializable fact type must fail loudly, not silently lose facts in
+// vettool mode.
+func TestFactEncodeRejectsUnsupported(t *testing.T) {
+	s := NewFactStore()
+	s.Export("t", "bad", 42)
+	err := s.EncodeTo(&bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unsupported type") {
+		t.Fatalf("EncodeTo = %v, want unsupported-type error", err)
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Fset    *token.FileSet
+	Types   *types.Package
+	Info    *types.Info
+	Imports []string
+}
+
+// Loader type-checks packages for analysis without any network or
+// x/tools dependency. Module packages are parsed from source (the
+// analyzers need ASTs and comments); their imports resolve from the
+// compiler export data `go list -export` leaves in the build cache, so
+// loads work offline and never re-typecheck the transitive closure.
+type Loader struct {
+	// Dir is the working directory for `go list` (any directory inside
+	// the module). Empty means the process working directory.
+	Dir string
+	// SrcRoot, when set, resolves import paths from GOPATH-style source
+	// directories under it before consulting export data. The
+	// analysistest harness points it at testdata/src so test packages
+	// can import each other and real module packages side by side.
+	SrcRoot string
+
+	fset   *token.FileSet
+	meta   map[string]*listedPackage
+	gc     types.ImporterFrom
+	srcPkg map[string]*Package // SrcRoot packages, by import path
+}
+
+// listedPackage is the subset of `go list -json` the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Dir:    dir,
+		fset:   token.NewFileSet(),
+		meta:   map[string]*listedPackage{},
+		srcPkg: map[string]*Package{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// lookupExport feeds the gc importer the export-data file of an import
+// path, shelling out to `go list -export` for paths not yet listed.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p, ok := l.meta[path]
+	if !ok || p.Export == "" {
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+		if p, ok = l.meta[path]; !ok || p.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(p.Export)
+}
+
+// goList records metadata (including export-data locations) for the
+// packages matching patterns and their dependencies.
+func (l *Loader) goList(patterns ...string) error {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return fmt.Errorf("analysis: go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		prev, seen := l.meta[p.ImportPath]
+		// A package listed before only as a dependency may reappear as a
+		// match; keep the match (DepOnly false) and any export path.
+		if !seen || (prev.DepOnly && !p.DepOnly) || prev.Export == "" {
+			cp := p
+			if seen && cp.Export == "" {
+				cp.Export = prev.Export
+			}
+			l.meta[p.ImportPath] = &cp
+		}
+	}
+	return nil
+}
+
+// Load lists patterns and returns the matched module packages, parsed
+// with comments and fully type-checked, in dependency order (a package
+// precedes everything that imports it).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var matched []string
+	for path, p := range l.meta {
+		if !p.DepOnly && !p.Standard && p.Module != nil {
+			matched = append(matched, path)
+		}
+	}
+	sort.Strings(matched)
+	order := l.depOrder(matched)
+
+	var pkgs []*Package
+	for _, path := range order {
+		pkg, err := l.typeCheck(l.meta[path])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// depOrder topologically sorts paths so dependencies precede importers.
+func (l *Loader) depOrder(paths []string) []string {
+	in := map[string]bool{}
+	for _, p := range paths {
+		in[p] = true
+	}
+	var order []string
+	visited := map[string]bool{}
+	var visit func(string)
+	visit = func(path string) {
+		if visited[path] || !in[path] {
+			return
+		}
+		visited[path] = true
+		if m := l.meta[path]; m != nil {
+			for _, imp := range m.Imports {
+				visit(imp)
+			}
+		}
+		order = append(order, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return order
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func (l *Loader) typeCheck(m *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(m.ImportPath, m.Dir, files, m.Imports)
+}
+
+// LoadDir parses the .go files of one directory as a package with the
+// given import path and type-checks it — the analysistest entry point.
+// Imports resolve via SrcRoot first, then module/stdlib export data.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	pkg, err := l.check(importPath, dir, files, imports)
+	if err != nil {
+		return nil, err
+	}
+	l.srcPkg[importPath] = pkg
+	return pkg, nil
+}
+
+// check runs the type checker over parsed files.
+func (l *Loader) check(importPath, dir string, files []*ast.File, imports []string) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		PkgPath: importPath,
+		Dir:     dir,
+		Files:   files,
+		Fset:    l.fset,
+		Types:   tpkg,
+		Info:    info,
+		Imports: imports,
+	}, nil
+}
+
+// loaderImporter adapts the loader for types.Config.Importer: SrcRoot
+// packages type-check from source, everything else comes from export
+// data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if pkg, ok := l.srcPkg[path]; ok {
+		return pkg.Types, nil
+	}
+	if l.SrcRoot != "" {
+		src := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(src); err == nil && st.IsDir() {
+			pkg, err := l.LoadDir(src, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.gc.ImportFrom(path, dir, mode)
+}

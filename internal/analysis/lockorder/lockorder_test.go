@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"splitfs/internal/analysis/analysistest"
+	"splitfs/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), lockorder.Analyzer, "locks", "locksuser")
+}

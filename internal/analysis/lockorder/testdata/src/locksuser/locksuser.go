@@ -1,0 +1,38 @@
+// Package locksuser exercises cross-package rank inheritance: ranks
+// and acquisition summaries declared in package locks arrive here as
+// facts.
+package locksuser
+
+import (
+	"sync"
+
+	"locks"
+)
+
+// Cache joins the hierarchy at the inner rank declared by locks.
+type Cache struct {
+	mu sync.Mutex // +lockrank:inner
+}
+
+// Bad acquires the imported outer rank under a local inner lock.
+func Bad(c *Cache, db *locks.DB) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	db.Mu.Lock() // want `acquires "outer" while holding "inner"`
+	db.Mu.Unlock()
+}
+
+// BadIndirect hits the imported acquisition summary of locks.LockOuter.
+func BadIndirect(c *Cache, db *locks.DB) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	locks.LockOuter(db) // want `calls locks.LockOuter, which may acquire "outer", while holding "inner"`
+}
+
+// OK nests in the declared order across packages.
+func OK(c *Cache, db *locks.DB) {
+	db.Mu.Lock()
+	defer db.Mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

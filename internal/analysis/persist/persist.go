@@ -1,0 +1,295 @@
+// Package persist checks that simulated persistent-memory stores reach
+// durability before the storing function returns. On the pmem device
+// model a Store dirties cache lines (needs Flush, then Fence), a
+// StoreNT enters the write-pending queue directly (needs Fence), and a
+// StoreBuffered is checkpointed by the journaled commit machinery and
+// needs nothing here. Persist/PersistNT bundle their own fence, and any
+// Fence — the sfence is device-global — covers everything pending at
+// that point.
+//
+// The walk is linear per function body in source order, so the check is
+// an end-of-body one: stores still dirty or unfenced when the body runs
+// out are reported. Functions whose contract is that the caller fences
+// (ext4dax in-transaction writers, splitfs staging writers) carry a
+// `// +persist:caller-fenced` annotation instead; the analyzer then
+// exports an "unfenced" fact so their callers inherit the obligation,
+// and a "fences" fact flows the other way for callees that fence
+// unconditionally. Test files are skipped: crash tests leave stores
+// unfenced on purpose.
+package persist
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"splitfs/internal/analysis"
+)
+
+const name = "persist"
+
+// CallerFenced is the annotation naming functions whose pending stores
+// are the caller's responsibility.
+const CallerFenced = "persist:caller-fenced"
+
+// Analyzer is the persist analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "check that pmem Store/StoreNT results are flushed and fenced (or " +
+		"+persist:caller-fenced delegates the obligation) before return",
+	Run: run,
+}
+
+type opKind int
+
+const (
+	opNone    opKind = iota
+	opStore          // dirties cache lines: needs flush, then fence
+	opStoreNT        // write-pending: needs fence
+	opFlush          // moves dirty lines to write-pending
+	opFence          // drains everything pending
+	opCall           // named callee; effect comes from facts
+)
+
+// deviceOps classifies pmem.Device methods; mapOps the ext4dax.Mapping
+// surface (whose Fence forwards to the device).
+var deviceOps = map[string]opKind{
+	"Store":         opStore,
+	"StoreNT":       opStoreNT,
+	"StoreBuffered": opNone, // journaled: the group commit flushes it
+	"Flush":         opFlush,
+	"Fence":         opFence,
+	"Persist":       opFence, // store+flush+fence; ends drained
+	"PersistNT":     opFence,
+}
+
+var mapOps = map[string]opKind{
+	"StoreNT": opStoreNT,
+	"Fence":   opFence,
+}
+
+type event struct {
+	pos    token.Pos
+	kind   opKind
+	callee string // opCall
+	what   string // human label for reports
+}
+
+type fnInfo struct {
+	id        string
+	annotated bool // +persist:caller-fenced
+	events    []event
+}
+
+type pending struct {
+	pos   token.Pos
+	dirty bool // true: needs Flush first; false: needs Fence only
+	what  string
+}
+
+func run(pass *analysis.Pass) error {
+	var fns []*fnInfo
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			info := &fnInfo{
+				id:        analysis.FuncID(fn),
+				annotated: analysis.HasDirective(CallerFenced, fd.Doc),
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if ev := classify(pass, call); ev != nil {
+					info.events = append(info.events, *ev)
+				}
+				return true
+			})
+			fns = append(fns, info)
+		}
+	}
+
+	local := map[string]*fnInfo{}
+	for _, fn := range fns {
+		if fn.id != "" {
+			local[fn.id] = fn
+		}
+	}
+
+	// Fixpoint 1: which functions fence. Monotone — a fence anywhere in
+	// the body is an sfence covering the caller's pending stores too.
+	fences := map[string]bool{}
+	fenceFact := func(id string) bool {
+		if f, ok := local[id]; ok {
+			return fences[f.id]
+		}
+		if _, ok := pass.Facts.Import(name, "fences:"+id); ok {
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if fences[fn.id] {
+				continue
+			}
+			for _, ev := range fn.events {
+				if ev.kind == opFence || (ev.kind == opCall && fenceFact(ev.callee)) {
+					fences[fn.id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Fixpoint 2: which annotated functions leave pending stores behind
+	// (the caller-fenced obligation), with the fence map fixed.
+	unfenced := map[string]bool{}
+	unfencedFact := func(id string) bool {
+		if f, ok := local[id]; ok {
+			return unfenced[f.id]
+		}
+		if _, ok := pass.Facts.Import(name, "unfenced:"+id); ok {
+			return true
+		}
+		return false
+	}
+	eval := func(fn *fnInfo) []pending {
+		var pend []pending
+		for _, ev := range fn.events {
+			switch ev.kind {
+			case opStore:
+				pend = append(pend, pending{ev.pos, true, ev.what})
+			case opStoreNT:
+				pend = append(pend, pending{ev.pos, false, ev.what})
+			case opFlush:
+				for i := range pend {
+					pend[i].dirty = false
+				}
+			case opFence:
+				pend = nil
+			case opCall:
+				if fenceFact(ev.callee) {
+					pend = nil
+				}
+				if unfencedFact(ev.callee) {
+					pend = append(pend, pending{ev.pos, false, "call to " + ev.callee})
+				}
+			}
+		}
+		return pend
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if !fn.annotated || unfenced[fn.id] {
+				continue
+			}
+			if len(eval(fn)) > 0 {
+				unfenced[fn.id] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fn := range fns {
+		if fn.id == "" {
+			continue
+		}
+		if fences[fn.id] {
+			pass.Facts.Export(name, "fences:"+fn.id, true)
+		}
+		if unfenced[fn.id] {
+			pass.Facts.Export(name, "unfenced:"+fn.id, true)
+		}
+	}
+
+	// Report: non-annotated functions must end drained.
+	for _, fn := range fns {
+		if fn.annotated {
+			continue
+		}
+		for _, p := range eval(fn) {
+			if p.dirty {
+				pass.Reportf(p.pos,
+					"%s is not flushed and fenced before return; add Flush+Fence or annotate the function // +%s",
+					p.what, CallerFenced)
+			} else {
+				pass.Reportf(p.pos,
+					"%s is not fenced before return; add Fence or annotate the function // +%s",
+					p.what, CallerFenced)
+			}
+		}
+	}
+	return nil
+}
+
+// classify maps a call to a persistence op. Device/Mapping methods
+// match by receiver type; everything else with a named callee becomes
+// an opCall resolved through facts.
+func classify(pass *analysis.Pass, call *ast.CallExpr) *event {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if recv := receiverOf(fn); recv != "" {
+		var kind opKind
+		var ok bool
+		switch recv {
+		case "pmem.Device":
+			kind, ok = deviceOps[fn.Name()]
+		case "ext4dax.Mapping":
+			kind, ok = mapOps[fn.Name()]
+		}
+		if ok {
+			if kind == opNone {
+				return nil
+			}
+			what := "pmem " + fn.Name()
+			if kind == opStore || kind == opStoreNT {
+				what += " result"
+			}
+			return &event{pos: call.Pos(), kind: kind, what: what}
+		}
+	}
+	return &event{pos: call.Pos(), kind: opCall, callee: analysis.FuncID(fn)}
+}
+
+// receiverOf names a method receiver as "<pkgbase>.<Type>" for the two
+// packages the device model lives in, else "".
+func receiverOf(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	path := n.Obj().Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "internal/pmem"):
+		return "pmem." + n.Obj().Name()
+	case strings.HasSuffix(path, "internal/ext4dax"):
+		return "ext4dax." + n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package persist_test
+
+import (
+	"testing"
+
+	"splitfs/internal/analysis/analysistest"
+	"splitfs/internal/analysis/persist"
+)
+
+func TestPersist(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), persist.Analyzer, "persistbasic", "persistuser")
+}

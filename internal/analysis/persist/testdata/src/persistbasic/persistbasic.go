@@ -1,0 +1,74 @@
+// Package persistbasic exercises the persist analyzer against the real
+// pmem device API, resolved from module export data.
+package persistbasic
+
+import (
+	"splitfs/internal/pmem"
+	"splitfs/internal/sim"
+)
+
+// BadStore leaves a temporal store dirty in cache.
+func BadStore(dev *pmem.Device, p []byte) {
+	dev.Store(0, p, sim.CatPMData) // want `pmem Store result is not flushed and fenced before return`
+}
+
+// BadStoreNT leaves a non-temporal store in the write-pending queue.
+func BadStoreNT(dev *pmem.Device, p []byte) {
+	dev.StoreNT(0, p, sim.CatPMData) // want `pmem StoreNT result is not fenced before return`
+}
+
+// BadFlushOnly flushes but never fences: still not durable.
+func BadFlushOnly(dev *pmem.Device, p []byte) {
+	dev.Store(0, p, sim.CatPMData) // want `pmem Store result is not fenced before return`
+	dev.Flush(0, len(p), sim.CatPMData)
+}
+
+// OKPersist uses the bundled store+flush+fence helpers.
+func OKPersist(dev *pmem.Device, p []byte) {
+	dev.Persist(0, p, sim.CatPMData)
+	dev.PersistNT(64, p, sim.CatPMData)
+}
+
+// OKExplicit drains by hand.
+func OKExplicit(dev *pmem.Device, p []byte) {
+	dev.Store(0, p, sim.CatPMData)
+	dev.StoreNT(64, p, sim.CatPMData)
+	dev.Flush(0, len(p), sim.CatPMData)
+	dev.Fence()
+}
+
+// OKBuffered delegates durability to the journaled group commit.
+func OKBuffered(dev *pmem.Device, p []byte) {
+	dev.StoreBuffered(0, p, sim.CatPMData)
+}
+
+// StageRecord is fenced by its caller, by contract.
+//
+// +persist:caller-fenced
+func StageRecord(dev *pmem.Device, p []byte) {
+	dev.StoreNT(0, p, sim.CatPMData)
+}
+
+// CommitAll fences unconditionally; callers inherit the fact.
+func CommitAll(dev *pmem.Device) {
+	dev.Fence()
+}
+
+// OKDelegated stages through an annotated helper, then fences through
+// another call: both effects flow through facts.
+func OKDelegated(dev *pmem.Device, p []byte) {
+	StageRecord(dev, p)
+	CommitAll(dev)
+}
+
+// BadDelegated stages but never fences: the pending store surfaced by
+// StageRecord's unfenced fact is reported at the call site.
+func BadDelegated(dev *pmem.Device, p []byte) {
+	StageRecord(dev, p) // want `call to persistbasic.StageRecord is not fenced before return`
+}
+
+// Suppressed carries a reviewed escape.
+func Suppressed(dev *pmem.Device, p []byte) {
+	//lint:ignore splitfs-persist golden test exercises suppression
+	dev.Store(0, p, sim.CatPMData)
+}

@@ -1,0 +1,33 @@
+// Package persistuser checks that caller-fenced and fencing facts cross
+// package boundaries.
+package persistuser
+
+import (
+	"persistbasic"
+
+	"splitfs/internal/pmem"
+)
+
+// OK inherits StageRecord's obligation and discharges it via the
+// imported fencing helper.
+func OK(dev *pmem.Device, p []byte) {
+	persistbasic.StageRecord(dev, p)
+	persistbasic.CommitAll(dev)
+}
+
+// Bad inherits the obligation and drops it.
+func Bad(dev *pmem.Device, p []byte) {
+	persistbasic.StageRecord(dev, p) // want `call to persistbasic.StageRecord is not fenced before return`
+}
+
+// Relay passes the obligation on to its own callers.
+//
+// +persist:caller-fenced
+func Relay(dev *pmem.Device, p []byte) {
+	persistbasic.StageRecord(dev, p)
+}
+
+// BadRelayed picks it up two hops from the store.
+func BadRelayed(dev *pmem.Device, p []byte) {
+	Relay(dev, p) // want `call to persistuser.Relay is not fenced before return`
+}

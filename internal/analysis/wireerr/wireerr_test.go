@@ -1,0 +1,12 @@
+package wireerr_test
+
+import (
+	"testing"
+
+	"splitfs/internal/analysis/analysistest"
+	"splitfs/internal/analysis/wireerr"
+)
+
+func TestWireErr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), wireerr.Analyzer, "wiretest/server")
+}

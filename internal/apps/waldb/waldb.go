@@ -213,11 +213,7 @@ func (d *DB) Commit() error {
 		pageNos = append(pageNos, p)
 	}
 	// Deterministic frame order.
-	for i := 1; i < len(pageNos); i++ {
-		for j := i; j > 0 && pageNos[j] < pageNos[j-1]; j-- {
-			pageNos[j], pageNos[j-1] = pageNos[j-1], pageNos[j]
-		}
-	}
+	sort.Slice(pageNos, func(i, j int) bool { return pageNos[i] < pageNos[j] })
 	frame := make([]byte, frameSize)
 	newIndex := make(map[uint32]int64, len(pageNos))
 	for i, p := range pageNos {

@@ -180,7 +180,12 @@ func (f *File) writeAt(p []byte, off int64, atEOF bool) (int, int64, error) {
 	return n, off + int64(n), err
 }
 
-// writeLocked performs the write. Caller holds fs.mu and in.mu.
+// writeLocked performs the write. Caller holds fs.mu and in.mu. Data
+// stores are non-temporal and deliberately unfenced: like ext4-DAX,
+// write() data becomes durable only at fsync (or a journal commit),
+// which fences.
+//
+// +persist:caller-fenced
 func (fs *FS) writeLocked(in *inode, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInval

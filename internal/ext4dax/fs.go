@@ -68,7 +68,11 @@ type FS struct {
 	cfg Config
 	lay Layout
 
-	mu     sync.Mutex
+	// K-Split's half of DESIGN.md's "Lock hierarchy": fs.mu nests inside
+	// every U-Split lock and outside inode.mu and the device shards.
+	//
+	// +lockrank:order ext4fs < inode < shard
+	mu     sync.Mutex // +lockrank:ext4fs
 	jnl    *journal.Journal
 	iBmp   *alloc.Bitmap // inode numbers (block numbers double as inos)
 	bBmp   *alloc.Bitmap // data blocks

@@ -128,7 +128,7 @@ func (e fileExtent) logicalEnd() int64 { return e.logical + e.phys.Len }
 // offset resolution) holds only in.mu.RLock. Directory inodes and the
 // remaining fields are accessed exclusively under fs.mu.
 type inode struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex // +lockrank:inode
 	ino      uint64
 	isDir    bool
 	nlink    uint32

@@ -181,7 +181,10 @@ func (m *Mapping) Load(p []byte, fileOff int64) int {
 }
 
 // StoreNT copies p into the mapping with non-temporal stores; durable
-// after Fence on the device. No kernel involvement.
+// only after the caller's Fence on the device (that is the mmap
+// contract). No kernel involvement.
+//
+// +persist:caller-fenced
 func (m *Mapping) StoreNT(p []byte, fileOff int64) int {
 	n := 0
 	for n < len(p) {

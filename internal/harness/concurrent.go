@@ -1,3 +1,9 @@
+// Concurrent-mode throughput is measured in wall-clock time across
+// worker goroutines; both are deliberate here (see below).
+//
+// +determinism:wallclock
+// +determinism:concurrent
+
 package harness
 
 import (

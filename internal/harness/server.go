@@ -1,3 +1,9 @@
+// The sessions half measures wall-clock throughput over concurrent
+// client goroutines by design:
+//
+// +determinism:wallclock
+// +determinism:concurrent
+
 // The server experiment: the multi-tenant file service (internal/server)
 // measured two ways. The loopback half runs one deterministic mixed op
 // stream twice per backend — directly, and through a served: session —
@@ -51,8 +57,15 @@ func runServerStream(fs vfs.FileSystem, nops int) (int64, error) {
 	sizes := map[string]int64{}
 	next := 0
 	defer func() {
-		for _, f := range handles {
-			f.Close()
+		// Close in sorted path order: a map range here would emit the
+		// backends' close-time persistence events in a random order.
+		paths := make([]string, 0, len(handles))
+		for p := range handles {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			handles[p].Close()
 		}
 	}()
 	openf := func(p string) (vfs.File, error) {

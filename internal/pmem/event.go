@@ -143,7 +143,7 @@ func (s EventStats) Total() int64 { return s.Stores + s.StoresNT + s.Flushes + s
 type eventState struct {
 	hooks atomic.Bool
 
-	mu      sync.Mutex
+	mu      sync.Mutex // +lockrank:pmevent
 	tracing bool
 	trace   []Event
 

@@ -95,7 +95,11 @@ func (s Stats) BytesWritten() int64 { return s.BytesWrittenNT + s.BytesWrittenCa
 // shard owns one contiguous cache-line-aligned byte range of the device:
 // its slice of data/persisted and the persistence state of its lines.
 type shard struct {
-	mu    sync.Mutex
+	// Innermost data lock of the hierarchy; the event sink nests inside
+	// it (crash sweeps hold shard locks while recording).
+	//
+	// +lockrank:order shard < pmevent
+	mu    sync.Mutex // +lockrank:shard
 	lines map[int64]lineState
 	// active is a lock-free hint that lines may be non-empty, so the
 	// device-global sweeps (Fence, UnpersistedLines) skip clean shards

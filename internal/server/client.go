@@ -52,7 +52,7 @@ func (c *Client) call(typ uint8, want uint8, e *enc) ([]byte, error) {
 		return nil, decodeError(rp)
 	}
 	if rtyp != want {
-		return nil, fmt.Errorf("server: %s reply to %s", msgName(rtyp), msgName(typ))
+		return nil, fmt.Errorf("%w: %s reply to %s", errUnexpectedReply, msgName(rtyp), msgName(typ))
 	}
 	return rp, nil
 }
@@ -360,7 +360,7 @@ func Dial(rwc io.ReadWriteCloser, root string) (*Client, error) {
 	}
 	if rtyp != rAttach {
 		rwc.Close()
-		return nil, fmt.Errorf("server: attach reply %s", msgName(rtyp))
+		return nil, fmt.Errorf("%w: attach reply %s", errUnexpectedReply, msgName(rtyp))
 	}
 	d := dec{b: rp}
 	name := d.str()

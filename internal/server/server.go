@@ -83,7 +83,7 @@ func (srv *Server) attach(root string, conn *serverConn) (*Session, error) {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if srv.closed {
-		return nil, fmt.Errorf("server: closed")
+		return nil, errServerClosed
 	}
 	srv.nextSess++
 	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn}
@@ -228,7 +228,7 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 	if srv.closed {
 		srv.mu.Unlock()
 		rwc.Close()
-		return fmt.Errorf("server: closed")
+		return errServerClosed
 	}
 	srv.conns[conn] = true
 	srv.mu.Unlock()
@@ -245,7 +245,7 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 	}
 	if typ != tAttach {
 		writeFrame(rwc, rError, reqID, encodeAttachError(fmt.Errorf("expected Tattach, got %s", msgName(typ))))
-		return fmt.Errorf("server: first frame %s, want Tattach", msgName(typ))
+		return fmt.Errorf("%w: first frame %s, want Tattach", errBadHandshake, msgName(typ))
 	}
 	d := dec{b: payload}
 	root := d.str()
@@ -292,7 +292,7 @@ func (srv *Server) Serve(ln net.Listener) error {
 	closed := srv.closed
 	srv.mu.Unlock()
 	if closed {
-		return fmt.Errorf("server: closed")
+		return errServerClosed
 	}
 	for {
 		c, err := ln.Accept()

@@ -118,6 +118,18 @@ const (
 // the connection is unrecoverable after it (framing is lost).
 var errFrameTooBig = errors.New("server: frame exceeds payload bound")
 
+// errServerClosed is returned for any operation on a closed server;
+// callers match it with errors.Is rather than string comparison.
+var errServerClosed = errors.New("server: closed")
+
+// errUnexpectedReply reports a reply frame whose type does not match the
+// outstanding request — a protocol violation, not a backend error.
+var errUnexpectedReply = errors.New("server: unexpected reply type")
+
+// errBadHandshake reports a connection whose first frame was not
+// Tattach.
+var errBadHandshake = errors.New("server: bad handshake")
+
 // writeFrame writes one frame to w. Callers serialize access to w.
 func writeFrame(w io.Writer, typ uint8, reqID uint32, payload []byte) error {
 	if len(payload) > maxFrame-frameHeader {

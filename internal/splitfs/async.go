@@ -1,3 +1,8 @@
+// Worker mode spawns background relink goroutines by design; in
+// single-drain mode none start and the event stream stays deterministic.
+//
+// +determinism:concurrent
+
 package splitfs
 
 import (
@@ -44,7 +49,7 @@ type relinkPipeline struct {
 	fs      *FS
 	workers int
 
-	mu      sync.Mutex
+	mu      sync.Mutex                // +lockrank:pipeline
 	queue   []*relinkRequest          // FIFO
 	pending map[*ofile]*relinkRequest // queued (not yet popped) per ofile
 
@@ -211,6 +216,7 @@ func (p *relinkPipeline) worker() {
 func (p *relinkPipeline) processBatch(batch []*relinkRequest) {
 	fs := p.fs
 	prev := fs.dev.SetEventSource(pmem.SrcRelinkWorker)
+	defer fs.dev.SetEventSource(prev)
 	var maxTx uint64
 	for _, r := range batch {
 		r.of.mu.Lock()
@@ -245,7 +251,6 @@ func (p *relinkPipeline) processBatch(batch []*relinkRequest) {
 		fs.dev.SetEventSource(pmem.SrcReclaim)
 		fs.staging.reclaim()
 	}
-	fs.dev.SetEventSource(prev)
 	for _, r := range batch {
 		close(r.done)
 	}

@@ -18,7 +18,7 @@ import (
 type mmapCache struct {
 	fs *FS
 
-	mu sync.RWMutex
+	mu sync.RWMutex // +lockrank:mmapcache
 	// regions[ino][regionIndex] — one entry per MmapBytes-sized window.
 	regions map[uint64]map[int64]*ext4dax.Mapping
 }

@@ -179,6 +179,14 @@ type fsStats struct {
 // shared running journal transaction open, and group commit (one leader
 // commits the transaction for every batch that joined it) preserves
 // per-batch atomicity — jbd2's "many handles, one transaction" rule.
+//
+// The lockrank chains below declare DESIGN.md's "Lock hierarchy" for
+// the lockorder analyzer; the three level-5 locks (amu, stagingpool,
+// mmapcache) are mutual siblings, each between ofile and ext4fs.
+//
+// +lockrank:order wmu < pipeline < fstable < ofile < amu < ext4fs
+// +lockrank:order ofile < stagingpool < ext4fs
+// +lockrank:order ofile < mmapcache < ext4fs
 type FS struct {
 	kfs  *ext4dax.FS
 	dev  *pmem.Device
@@ -186,12 +194,15 @@ type FS struct {
 	cfg  Config
 	mode Mode
 
-	wmu sync.Mutex // strict-mode writer serialization (op-log order)
+	// Strict-mode writer serialization (op-log order).
+	wmu sync.Mutex // +lockrank:wmu
 
-	mu    sync.RWMutex      // open-file table
+	// Open-file table.
+	mu    sync.RWMutex      // +lockrank:fstable
 	files map[uint64]*ofile // live open files by inode
 
-	amu   sync.Mutex // attribute cache
+	// Attribute cache.
+	amu   sync.Mutex // +lockrank:amu
 	attrs map[string]vfs.FileInfo
 
 	pipeline *relinkPipeline // asynchronous relink + group commit
@@ -214,7 +225,7 @@ type ofile struct {
 	ino uint64
 	kf  *ext4dax.File
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex // +lockrank:ofile
 	path   string
 	size   int64 // U-Split's view, including staged appends
 	ksize  int64 // K-Split's view (what has been relinked)

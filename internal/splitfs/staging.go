@@ -43,13 +43,15 @@ type stagingChunk struct {
 }
 
 // stagingPool manages the staging files (§3.5: ten files pre-allocated at
-// startup; a new one is created when one is used up — here synchronously,
-// counted in Stats, since the reproduction is single-threaded virtual
-// time; see DESIGN.md).
+// startup; a new one is created when one is used up). The paper creates
+// replacements on a background thread; here creation happens inline
+// under mu and is counted in Stats — simulated time cannot express the
+// overlap either way (see DESIGN.md, "Two time domains"), so only the
+// count matters.
 type stagingPool struct {
 	fs *FS
 
-	mu      sync.Mutex
+	mu      sync.Mutex // +lockrank:stagingpool
 	ready   []*stagingFile
 	current *stagingFile
 	nextID  int

@@ -128,9 +128,17 @@ func (t *FDTable) Len() int {
 func (t *FDTable) Files() []File {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Walk descriptors in sorted order so the returned slice (and any
+	// close/snapshot work driven by it) is deterministic.
+	nums := make([]int, 0, len(t.fds))
+	for fd := range t.fds {
+		nums = append(nums, fd)
+	}
+	sort.Ints(nums)
 	seen := make(map[File]bool)
 	var out []File
-	for _, e := range t.fds {
+	for _, fd := range nums {
+		e := t.fds[fd]
 		if !seen[e.file] {
 			seen[e.file] = true
 			out = append(out, e.file)
