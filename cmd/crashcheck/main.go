@@ -16,6 +16,7 @@
 //
 //	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
 //	           [-sample N] [-metadata] [-async] [-served]
+//	           [-served-crash] [-tenants N]
 //	           [-double-crash] [-double-sample N]
 //	           [-minimize] [-out FILE] [-workers N] [-v]
 //
@@ -23,6 +24,16 @@
 // service (internal/server): every generated trace runs via a served:
 // session over all nine backends and must land byte-identical to the
 // direct ext4-dax reference.
+//
+// -served-crash adds daemon-death sweeps: -tenants concurrent sessions
+// run mixed workloads over the stream transport (with wire faults on)
+// while the device is armed to crash at a sampled persistence event;
+// the daemon is torn down mid-flight, the backend recovered, the
+// daemon restarted, and every tenant reconnects, replays, and
+// finishes. Per-tenant mode oracles and exactly-once counters for
+// rename/unlink/append are checked after every kill. With -minimize,
+// a violating sweep's tenant workloads are ddmin-shrunk to a minimal
+// reproducer.
 //
 // -out FILE writes a report of any violations — including the minimized
 // reproducer when -minimize is set — to FILE, so a scheduled run can
@@ -55,6 +66,8 @@ func main() {
 	metadata := flag.Bool("metadata", false, "add metadata-heavy workloads (create/unlink/rename/truncate/mkdir)")
 	async := flag.Bool("async", false, "add async-relink workloads (multi-file fsyncs + group syncs through the background pipeline)")
 	served := flag.Bool("served", false, "add served-backend differential campaigns: each trace through the session/RPC layer over all nine backends must match direct ext4-dax byte for byte")
+	servedCrash := flag.Bool("served-crash", false, "add served daemon-death sweeps: kill the daemon at sampled persistence events while tenants are mid-pipeline, recover, restart, reconnect every tenant, and check per-tenant oracles plus exactly-once counters")
+	tenants := flag.Int("tenants", 3, "concurrent tenant sessions per served-crash campaign")
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
 	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
 	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
@@ -143,6 +156,50 @@ func main() {
 		if mismatches > 0 {
 			servedFailed = true
 		}
+	}
+
+	// Served daemon-death sweeps: tenants run concurrently over the
+	// stream transport (wire faults on) while the device is armed to
+	// crash at sampled persistence events; every kill is followed by
+	// recovery, daemon restart, tenant reconnect/replay, and a full
+	// oracle + exactly-once check.
+	var (
+		servedVios   []crash.Violation
+		servedVioCfg *crash.ServedExploreConfig
+	)
+	if *servedCrash {
+		sweeps, killed, notFired := 0, 0, 0
+		for _, mode := range modes {
+			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
+				cfg := crash.ServedExploreConfig{Mode: mode, Tenants: *tenants,
+					OpsPerTenant: *nops, Seed: seed, WireFaults: true, Sample: *sample}
+				res, err := crash.ServedExplore(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "crashcheck: served-crash/%v/seed%d: %v\n", mode, seed, err)
+					servedFailed = true
+					continue
+				}
+				sweeps++
+				killed += res.Tested
+				notFired += res.NotFired
+				for _, v := range res.Violations {
+					fmt.Printf("SERVED VIOLATION %v/seed%d event=%d: %s\n", mode, seed, v.Event, v.Msg)
+				}
+				if len(res.Violations) > 0 {
+					servedVios = append(servedVios, res.Violations...)
+					if servedVioCfg == nil {
+						c := cfg
+						servedVioCfg = &c
+					}
+				}
+				if *verbose {
+					fmt.Printf("served-crash %v/seed%-2d window=[%d,%d] killed=%-4d notfired=%-3d violations=%d\n",
+						mode, seed, res.Window[0], res.Window[1], res.Tested, res.NotFired, len(res.Violations))
+				}
+			}
+		}
+		fmt.Printf("crashcheck: served-crash: %d sweeps x %d tenants, %d daemon kills (%d fell short of the armed event), %d violations\n",
+			sweeps, *tenants, killed, notFired, len(servedVios))
 	}
 
 	var (
@@ -244,6 +301,40 @@ func main() {
 		fmt.Fprintf(&report, "VIOLATION mode=%v seed=%d event=%d double=%d: %s\n",
 			v.Mode, v.Seed, v.Event, v.DoubleEvent, v.Msg)
 	}
+	for _, v := range servedVios {
+		fmt.Fprintf(&report, "SERVED VIOLATION mode=%v seed=%d event=%d: %s\n",
+			v.Mode, v.Seed, v.Event, v.Msg)
+	}
+	if len(servedVios) > 0 && *minimize && servedVioCfg != nil {
+		fmt.Printf("minimizing served-crash %v/seed%d (%d tenants x %d ops)...\n",
+			servedVioCfg.Mode, servedVioCfg.Seed, servedVioCfg.Tenants, servedVioCfg.OpsPerTenant)
+		cfg := *servedVioCfg
+		if cfg.Sample == 0 || cfg.Sample > 16 {
+			cfg.Sample = 16
+		}
+		for _, v := range servedVios {
+			if v.Event > 0 && v.Mode == cfg.Mode && v.Seed == cfg.Seed {
+				cfg.Include = append(cfg.Include, v.Event)
+			}
+		}
+		min, err := crash.ServedMinimize(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashcheck: served minimize: %v\n", err)
+			fmt.Fprintf(&report, "served minimize failed: %v\n", err)
+		} else {
+			var repro strings.Builder
+			fmt.Fprintf(&repro, "minimal served reproducer %v/seed%d (%d runs): %s\n",
+				cfg.Mode, cfg.Seed, min.Runs, min.Violation.Msg)
+			for t, ops := range min.TenantOps {
+				for i, op := range ops {
+					fmt.Fprintf(&repro, "  tenant %d op %d: %v %s %s off=%d size=%d len=%d fsync=%v close=%v\n",
+						t, i+1, op.Kind, op.Path, op.Path2, op.Off, op.Size, len(op.Data), op.Fsync, op.Close)
+				}
+			}
+			fmt.Print(repro.String())
+			report.WriteString(repro.String())
+		}
+	}
 	if len(violations) > 0 && *minimize && vioJob != nil {
 		fmt.Printf("minimizing %s (%d ops)...\n", vioJob.name, len(vioJob.cfg.Ops))
 		cfg := vioJob.cfg
@@ -274,14 +365,14 @@ func main() {
 			report.WriteString(repro.String())
 		}
 	}
-	if *outPath != "" && len(violations) > 0 {
+	if *outPath != "" && (len(violations) > 0 || len(servedVios) > 0) {
 		if err := os.WriteFile(*outPath, []byte(report.String()), 0644); err != nil {
 			fmt.Fprintf(os.Stderr, "crashcheck: write %s: %v\n", *outPath, err)
 		} else {
 			fmt.Printf("violation report written to %s\n", *outPath)
 		}
 	}
-	if len(violations) > 0 || failed || servedFailed {
+	if len(violations) > 0 || len(servedVios) > 0 || failed || servedFailed {
 		os.Exit(1)
 	}
 }

@@ -93,6 +93,9 @@ type env struct {
 	clk *sim.Clock
 	dev *pmem.Device
 	cfg splitfs.Config
+	// journalReplayed is set by recover1: K-Split journal transactions
+	// replayed during the last mount (harness diagnostics).
+	journalReplayed int
 }
 
 const defaultDevBytes = 32 << 20
@@ -304,12 +307,23 @@ func Run(c Campaign) (*Result, error) {
 
 // recover1 performs one mount+recovery pass, mapping failures to
 // violations (a crash must never leave an unmountable file system).
-func recover1(env *env) (*splitfs.FS, *splitfs.RecoveryReport, string) {
-	kfs, _, err := ext4dax.Mount(env.dev, ext4dax.Config{})
+// Panics inside mount or recovery are violations too — a corrupt image
+// crashing the recovery code (found by the served fence-fault self-test:
+// an allocator double free in the staging-pool rebuild) must be recorded
+// and minimized like any other breach, not kill the sweep process.
+func recover1(env *env) (fs *splitfs.FS, report *splitfs.RecoveryReport, vio string) {
+	defer func() {
+		if r := recover(); r != nil {
+			fs, report = nil, nil
+			vio = fmt.Sprintf("recovery panicked: %v", r)
+		}
+	}()
+	kfs, replayedTx, err := ext4dax.Mount(env.dev, ext4dax.Config{})
 	if err != nil {
 		return nil, nil, fmt.Sprintf("remount failed: %v", err)
 	}
-	fs, report, err := splitfs.RecoverFS(kfs, env.cfg)
+	env.journalReplayed = replayedTx
+	fs, report, err = splitfs.RecoverFS(kfs, env.cfg)
 	if err != nil {
 		return nil, nil, fmt.Sprintf("recovery failed: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 
 	"splitfs/internal/splitfs"
 	"splitfs/internal/vfs"
@@ -290,8 +291,15 @@ type durableState struct {
 // reported as violations by returning an error.
 func captureDurable(fs vfs.FileSystem) (*durableState, error) {
 	d := &durableState{files: map[string][]byte{}, dirs: map[string]bool{}}
-	var walk func(dir string) error
-	walk = func(dir string) error {
+	var walk func(dir string, depth int) error
+	walk = func(dir string, depth int) error {
+		// A corrupt recovered image can contain a directory cycle (found
+		// by the served fence-fault self-test); an unbounded walk would
+		// hang the sweep instead of reporting the corruption.
+		if depth > maxWalkDepth {
+			return fmt.Errorf("walk of %.80s... exceeds depth %d: directory cycle in recovered image",
+				dir, maxWalkDepth)
+		}
 		ents, err := fs.ReadDir(dir)
 		if err != nil {
 			return fmt.Errorf("readdir %s: %w", dir, err)
@@ -303,7 +311,7 @@ func captureDurable(fs vfs.FileSystem) (*durableState, error) {
 			}
 			if e.IsDir {
 				d.dirs[p] = true
-				if err := walk(p); err != nil {
+				if err := walk(p, depth+1); err != nil {
 					return err
 				}
 				continue
@@ -316,11 +324,16 @@ func captureDurable(fs vfs.FileSystem) (*durableState, error) {
 		}
 		return nil
 	}
-	if err := walk("/"); err != nil {
+	if err := walk("/", 0); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
+
+// maxWalkDepth bounds durable-state capture walks. Workloads nest a
+// handful of directories at most; anything deeper is a cycle stitched
+// together by a corrupt image, not legitimate state.
+const maxWalkDepth = 64
 
 // dirtyOverlay returns, per identity, the spans the in-progress syscall
 // may have been mutating on media when the crash hit (its own write
@@ -459,8 +472,9 @@ func matchExact(st *mstate, dur *durableState) string {
 // to equal the model state's.
 func matchNamespace(st *mstate, dur *durableState) string {
 	if len(dur.files) != len(st.files) || len(dur.dirs) != len(st.dirs) {
-		return fmt.Sprintf("namespace shape: %d files/%d dirs durable, want %d/%d",
-			len(dur.files), len(dur.dirs), len(st.files), len(st.dirs))
+		return fmt.Sprintf("namespace shape: %d files/%d dirs durable (%s / %s), want %d/%d (%s / %s)",
+			len(dur.files), len(dur.dirs), pathList(dur.files), pathList(dur.dirs),
+			len(st.files), len(st.dirs), pathList(st.files), pathList(st.dirs))
 	}
 	for p := range st.files {
 		if _, ok := dur.files[p]; !ok {
@@ -473,6 +487,22 @@ func matchNamespace(st *mstate, dur *durableState) string {
 		}
 	}
 	return ""
+}
+
+// pathList renders a path set compactly for namespace-mismatch messages.
+func pathList[V any](m map[string]V) string {
+	if len(m) == 0 {
+		return "∅"
+	}
+	paths := make([]string, 0, len(m))
+	for p := range m {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	if len(paths) > 8 {
+		paths = append(paths[:8], "…")
+	}
+	return strings.Join(paths, " ")
 }
 
 // matchContent checks every durable file's bytes against the sync/POSIX

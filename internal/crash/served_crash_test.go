@@ -1,0 +1,195 @@
+package crash
+
+import (
+	"testing"
+
+	"splitfs/internal/splitfs"
+)
+
+// TestServedOpsDiscipline checks the generator invariants the served
+// oracles depend on: workloads end on a SyncAll barrier, never reuse a
+// name (create and rename targets are always fresh), keep every write a
+// positional append at the tracked size, keep data single-chunk, and
+// close before unlink.
+func TestServedOpsDiscipline(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		ops := ServedOps(seed, 40)
+		if len(ops) == 0 || ops[len(ops)-1].Kind != OpSyncAll {
+			t.Fatalf("seed %d: workload does not end with OpSyncAll", seed)
+		}
+		used := map[string]bool{}
+		sizes := map[string]int64{}
+		for i, op := range ops {
+			switch op.Kind {
+			case OpCreate:
+				if used[op.Path] {
+					t.Fatalf("seed %d op %d: create reuses name %s", seed, i, op.Path)
+				}
+				used[op.Path] = true
+				sizes[op.Path] = 0
+			case OpWrite:
+				if op.Off != sizes[op.Path] {
+					t.Fatalf("seed %d op %d: write at %d, size is %d (not an append)",
+						seed, i, op.Off, sizes[op.Path])
+				}
+				if len(op.Data) == 0 || len(op.Data) > 1800 {
+					t.Fatalf("seed %d op %d: data length %d outside (0, 1800]",
+						seed, i, len(op.Data))
+				}
+				if !used[op.Path] {
+					used[op.Path] = true
+				}
+				sizes[op.Path] += int64(len(op.Data))
+			case OpRename:
+				if used[op.Path2] {
+					t.Fatalf("seed %d op %d: rename reuses name %s", seed, i, op.Path2)
+				}
+				used[op.Path2] = true
+				sizes[op.Path2] = sizes[op.Path]
+				delete(sizes, op.Path)
+			case OpUnlink:
+				if !op.Close {
+					t.Fatalf("seed %d op %d: unlink without Close", seed, i)
+				}
+				delete(sizes, op.Path)
+			case OpMkdir:
+				if used[op.Path] {
+					t.Fatalf("seed %d op %d: mkdir reuses name %s", seed, i, op.Path)
+				}
+				used[op.Path] = true
+			case OpSyncAll:
+			default:
+				t.Fatalf("seed %d op %d: unexpected kind %v in served workload",
+					seed, i, op.Kind)
+			}
+		}
+	}
+}
+
+// TestServedCrashSweep kills the daemon at sampled persistence events in
+// every mode and expects every oracle — per-tenant crash-point guarantee,
+// exactly-once replay, and post-resume final state — to hold.
+func TestServedCrashSweep(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Sync, splitfs.Strict} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := ServedExplore(ServedExploreConfig{
+				Mode: mode, Tenants: 2, OpsPerTenant: 10, Seed: 11, Sample: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("event %d: %s", v.Event, v.Msg)
+			}
+			if res.Tested == 0 {
+				t.Fatal("sweep tested no events")
+			}
+			if res.Tested-res.NotFired == 0 {
+				t.Fatal("no tested event fired the crash")
+			}
+			t.Logf("window %v: %d tested, %d fired, %d runs",
+				res.Window, res.Tested, res.Tested-res.NotFired, res.Runs)
+		})
+	}
+}
+
+// TestServedCrashWireFaults layers mid-frame client-side transport cuts
+// on top of the daemon death, so tenants survive torn frames, warm
+// re-attach with replay, then the crash, then cold resume (possibly torn
+// again) — still violation-free.
+func TestServedCrashWireFaults(t *testing.T) {
+	res, err := ServedExplore(ServedExploreConfig{
+		Mode: splitfs.Strict, Tenants: 2, OpsPerTenant: 10, Seed: 17,
+		Sample: 6, WireFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("event %d: %s", v.Event, v.Msg)
+	}
+	if res.Tested-res.NotFired == 0 {
+		t.Fatal("no tested event fired the crash")
+	}
+}
+
+// TestServedCrashReconnects pins one mid-window daemon death and checks
+// the mechanics the sweep relies on: the crash fires, replies are
+// dropped at the torn generation, every tenant reconnects and finishes
+// on the recovered generation, and the oracles stay green.
+func TestServedCrashReconnects(t *testing.T) {
+	record, err := RunServed(ServedCampaign{Mode: splitfs.Strict, Tenants: 3,
+		OpsPerTenant: 12, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if record.Violation != "" {
+		t.Fatalf("recording run violated: %s", record.Violation)
+	}
+	event := (record.BaselineEvents + record.TotalEvents) / 2
+	res, err := RunServed(ServedCampaign{Mode: splitfs.Strict, Tenants: 3,
+		OpsPerTenant: 12, Seed: 23, CrashAtEvent: event})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fired {
+		t.Fatalf("mid-window event %d did not fire", event)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation at event %d: %s", event, res.Violation)
+	}
+	if len(res.AckedSys) != 3 {
+		t.Fatalf("acked prefixes for %d tenants, want 3", len(res.AckedSys))
+	}
+	if res.Gen1.DroppedReplies == 0 {
+		t.Error("generation 1 dropped no replies at the crash")
+	}
+	t.Logf("event %d: acked %v, gen1 %+v, gen2 %+v", event, res.AckedSys, res.Gen1, res.Gen2)
+}
+
+// TestServedOracleDetectsViolations proves the served oracles are not
+// vacuous: with every workload fence skipped (the pmem fault-injection
+// hook), strict-mode daemon deaths must surface guarantee breaches.
+func TestServedOracleDetectsViolations(t *testing.T) {
+	res, err := ServedExplore(ServedExploreConfig{
+		Mode: splitfs.Strict, Tenants: 2, OpsPerTenant: 10, Seed: 29, Sample: 24,
+		SkipFence: func(seq int64) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("skipped fences produced no violation — the served oracle is vacuous")
+	}
+	t.Logf("%d violations in %d tested events; first: %s",
+		len(res.Violations), res.Tested, res.Violations[0].Msg)
+}
+
+// TestServedMinimize shrinks a seeded-fault served campaign to a small
+// reproducer and keeps a witness violation.
+func TestServedMinimize(t *testing.T) {
+	res, err := ServedMinimize(ServedExploreConfig{
+		Mode: splitfs.Strict, Tenants: 2, OpsPerTenant: 6, Seed: 31, Sample: 12,
+		SkipFence: func(seq int64) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ops := range res.TenantOps {
+		total += len(ops)
+	}
+	if total > 8 {
+		t.Fatalf("minimized to %d total ops across tenants, want <= 8", total)
+	}
+	if res.Violation.Msg == "" {
+		t.Fatal("no witness violation")
+	}
+	t.Logf("minimized to %d ops in %d runs: %s", total, res.Runs, res.Violation.Msg)
+}
+
+// TestServedMinimizeRejectsHealthy mirrors the direct minimizer's
+// contract: a violation-free campaign refuses to minimize.
+func TestServedMinimizeRejectsHealthy(t *testing.T) {
+	_, err := ServedMinimize(ServedExploreConfig{
+		Mode: splitfs.Strict, Tenants: 2, OpsPerTenant: 5, Seed: 37, Sample: 6})
+	if err == nil {
+		t.Fatal("expected error for a non-violating served campaign")
+	}
+}

@@ -1,0 +1,292 @@
+package crash
+
+import (
+	"fmt"
+	"strings"
+
+	"splitfs/internal/sim"
+	"splitfs/internal/splitfs"
+)
+
+// ServedExplore is the daemon-death sweep: run the served campaign once
+// without a crash to bound its persistence-event window, then kill the
+// daemon at a seeded sample of events, recover, restart, and check every
+// oracle each time. ServedMinimize shrinks a violating campaign's
+// tenant workloads to a minimal reproducer.
+
+// ServedExploreConfig configures a served sweep.
+type ServedExploreConfig struct {
+	Mode splitfs.Mode
+	// Tenants/OpsPerTenant/TenantOps/Seed/WireFaults/DevBytes as in
+	// ServedCampaign.
+	Tenants      int
+	OpsPerTenant int
+	TenantOps    [][]Op
+	Seed         uint64
+	WireFaults   bool
+	DevBytes     int64
+	// Sample bounds how many crash events are tested (0 = all),
+	// deterministic in Seed.
+	Sample int
+	// SkipFence is installed in every campaign of the sweep (harness
+	// self-tests; must be safe for concurrent calls).
+	SkipFence func(seq int64) bool
+	// Include lists events that must be tested even when Sample would not
+	// draw them (minimization pins the witness event this way).
+	Include []int64
+}
+
+// ServedExploreResult summarizes a served sweep.
+type ServedExploreResult struct {
+	// Window is the crashable event range (post-setup, end-of-recording].
+	Window [2]int64
+	// Tested counts crash runs; NotFired how many of them never reached
+	// their armed event — tenant scheduling is nondeterministic, so a
+	// rerun's window can fall short of the recording's. Violations can
+	// only come from runs that fired (or from final-state checks).
+	Tested, NotFired int
+	Violations       []Violation
+	Runs             int // total served campaign executions, recording run included
+}
+
+// ServedExplore runs the sweep.
+func ServedExplore(cfg ServedExploreConfig) (*ServedExploreResult, error) {
+	res := &ServedExploreResult{}
+	campaign := func(event int64) ServedCampaign {
+		return ServedCampaign{Mode: cfg.Mode, Tenants: cfg.Tenants,
+			OpsPerTenant: cfg.OpsPerTenant, TenantOps: cfg.TenantOps,
+			Seed: cfg.Seed, CrashAtEvent: event, WireFaults: cfg.WireFaults,
+			SkipFence: cfg.SkipFence, DevBytes: cfg.DevBytes}
+	}
+
+	// Recording run: no crash; validates the workloads' final states and
+	// bounds the sweep window. The Seed stays fixed across the sweep so
+	// every run drives the same workloads over the same wire-fault
+	// cadence — only the armed event varies.
+	record, err := RunServed(campaign(0))
+	if err != nil {
+		return nil, err
+	}
+	res.Runs++
+	if record.Violation != "" {
+		res.Violations = append(res.Violations, Violation{
+			Mode: cfg.Mode, Seed: cfg.Seed, Msg: record.Violation})
+	}
+	w0, w1 := record.BaselineEvents, record.TotalEvents
+	res.Window = [2]int64{w0, w1}
+
+	events := sampleEvents(w0+1, w1, cfg.Sample, sim.NewRNG(mix(cfg.Seed, 0x5eed)))
+	for _, k := range cfg.Include {
+		if k > w0 && k <= w1 {
+			events = insertEvent(events, k)
+		}
+	}
+	for _, k := range events {
+		r, err := RunServed(campaign(k))
+		if err != nil {
+			return nil, err
+		}
+		res.Runs++
+		res.Tested++
+		if !r.Fired {
+			res.NotFired++
+		}
+		if r.Violation != "" {
+			res.Violations = append(res.Violations, Violation{
+				Mode: cfg.Mode, Seed: cfg.Seed, Event: k, Msg: r.Violation})
+		}
+	}
+	return res, nil
+}
+
+// insertEvent inserts k into the sorted event list if absent.
+func insertEvent(events []int64, k int64) []int64 {
+	i := 0
+	for i < len(events) && events[i] < k {
+		i++
+	}
+	if i < len(events) && events[i] == k {
+		return events
+	}
+	events = append(events, 0)
+	copy(events[i+1:], events[i:])
+	events[i] = k
+	return events
+}
+
+// ServedMinimizeResult is a shrunken served reproducer.
+type ServedMinimizeResult struct {
+	TenantOps [][]Op
+	Violation Violation // a witness violation of the minimal workloads
+	Runs      int       // total served campaign executions spent minimizing
+}
+
+// ServedMinimize requires cfg to violate (ServedExplore finds at least
+// one breach) and shrinks the tenant workloads while it still does:
+// first by emptying whole tenants, then ddmin within each remaining
+// tenant's ops. Tenant count and order are preserved (emptied tenants
+// keep their slot) so tenant indices in violation messages stay stable.
+// Keep cfg.Sample modest — minimization trades per-candidate
+// exhaustiveness for many candidates.
+func ServedMinimize(cfg ServedExploreConfig) (*ServedMinimizeResult, error) {
+	res := &ServedMinimizeResult{}
+	test := func(tenantOps [][]Op) (*Violation, error) {
+		sub := cfg
+		sub.TenantOps = tenantOps
+		r, err := ServedExplore(sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs += r.Runs
+		if len(r.Violations) > 0 {
+			// Pin the witness event so a sampled re-sweep of the next
+			// candidate cannot miss it.
+			if ev := r.Violations[0].Event; ev > 0 {
+				cfg.Include = appendEventOnce(cfg.Include, ev)
+			}
+			return &r.Violations[0], nil
+		}
+		return nil, nil
+	}
+
+	cur := cfg.TenantOps
+	if cur == nil {
+		t, n := cfg.Tenants, cfg.OpsPerTenant
+		if t <= 0 {
+			t = 3
+		}
+		if n <= 0 {
+			n = 12
+		}
+		cur = servedWorkloads(cfg.Seed, t, n)
+	}
+	cur = copyTenantOps(cur)
+	witness, err := test(cur)
+	if err != nil {
+		return nil, err
+	}
+	if witness == nil {
+		return nil, fmt.Errorf("crash: served campaign does not violate; nothing to minimize")
+	}
+
+	// Pass 1: empty whole tenants.
+	for i := range cur {
+		if len(cur[i]) == 0 {
+			continue
+		}
+		cand := copyTenantOps(cur)
+		cand[i] = nil
+		v, err := test(cand)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			cur, witness = cand, v
+		}
+	}
+
+	// Pass 2: ddmin within each remaining tenant.
+	for i := range cur {
+		for chunk := (len(cur[i]) + 1) / 2; chunk >= 1; {
+			removed := false
+			for start := 0; start+chunk <= len(cur[i]); {
+				cand := copyTenantOps(cur)
+				ops := make([]Op, 0, len(cur[i])-chunk)
+				ops = append(ops, cur[i][:start]...)
+				ops = append(ops, cur[i][start+chunk:]...)
+				cand[i] = sanitizeServedOps(ops)
+				v, err := test(cand)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					cur, witness, removed = cand, v, true
+					// Re-scan from the same position on the shrunken list.
+					continue
+				}
+				start += chunk
+			}
+			if !removed {
+				chunk /= 2
+			} else if chunk > len(cur[i]) {
+				chunk = len(cur[i])
+			}
+		}
+	}
+	res.TenantOps = cur
+	res.Violation = *witness
+	return res, nil
+}
+
+// sanitizeServedOps rewrites a ddmin candidate into a well-formed served
+// workload. Deleting ops from a workload can orphan later ops — an
+// unlink whose create was removed, a file inside a removed mkdir, an
+// append whose offset no longer matches the file's size — and the
+// runner (rightly) treats those as hard errors, not guarantee
+// violations. Dropping the orphans and re-basing append offsets keeps
+// every candidate executable while preserving the surviving operations.
+// Valid workloads pass through unchanged, so sanitizing is idempotent.
+func sanitizeServedOps(ops []Op) []Op {
+	dirs := map[string]bool{"": true}
+	exists := map[string]bool{}
+	sizes := map[string]int64{}
+	parentOK := func(p string) bool {
+		i := strings.LastIndex(p, "/")
+		return i >= 0 && dirs[p[:i]]
+	}
+	out := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case OpMkdir:
+			if !parentOK(op.Path) {
+				continue
+			}
+			dirs[op.Path] = true
+		case OpCreate:
+			if !parentOK(op.Path) {
+				continue
+			}
+			exists[op.Path] = true
+		case OpWrite:
+			if !parentOK(op.Path) {
+				continue
+			}
+			op.Off = sizes[op.Path] // re-base the positional append
+			exists[op.Path] = true
+			sizes[op.Path] += int64(len(op.Data))
+		case OpRename:
+			if !exists[op.Path] || !parentOK(op.Path2) {
+				continue
+			}
+			delete(exists, op.Path)
+			exists[op.Path2] = true
+			sizes[op.Path2] = sizes[op.Path]
+			delete(sizes, op.Path)
+		case OpUnlink:
+			if !exists[op.Path] {
+				continue
+			}
+			delete(exists, op.Path)
+			delete(sizes, op.Path)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+func copyTenantOps(t [][]Op) [][]Op {
+	out := make([][]Op, len(t))
+	for i := range t {
+		out[i] = append([]Op(nil), t[i]...)
+	}
+	return out
+}
+
+func appendEventOnce(events []int64, k int64) []int64 {
+	for _, e := range events {
+		if e == k {
+			return events
+		}
+	}
+	return append(events, k)
+}

@@ -255,6 +255,100 @@ func AsyncOps(seed uint64, n int) []Op {
 	return ops
 }
 
+// ServedOps builds a deterministic workload shaped for the served crash
+// campaigns' resume discipline (see server.DialResumable):
+//
+//   - names are never reused once unlinked or renamed away, so a
+//     re-opened handle chain identifies at most one durable file;
+//   - writes are positional appends (offset = tracked size), so a
+//     replayed write is idempotent — handle-offset appends would degrade
+//     to at-least-once across a server restart;
+//   - unlinks close their handle first, because a cold re-attach
+//     re-establishes handles by path and cannot rebuild orphans;
+//   - periodic and final OpSyncAll barriers bound every tenant's replay
+//     log (the resumable client truncates its log at each acked barrier).
+func ServedOps(seed uint64, n int) []Op {
+	rng := sim.NewRNG(seed)
+	sizes := map[string]int64{}
+	var live []string // live file paths in creation order
+	var dirs []string
+	nextFile, nextDir := 0, 0
+
+	freshPath := func() string {
+		d := ""
+		if len(dirs) > 0 && rng.Intn(2) == 0 {
+			d = dirs[rng.Intn(len(dirs))]
+		}
+		p := fmt.Sprintf("%s/s%d", d, nextFile)
+		nextFile++
+		return p
+	}
+	data := func() []byte {
+		b := make([]byte, rng.Intn(1800)+1)
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		return b
+	}
+
+	ops := make([]Op, 0, n+1)
+	for len(ops) < n {
+		roll := rng.Intn(100)
+		if len(live) == 0 && roll >= 60 && roll < 86 {
+			roll = 55 // nothing to rename/unlink: create instead
+		}
+		switch {
+		case roll < 50:
+			// Positional append to an existing or fresh file.
+			var p string
+			if len(live) > 0 && rng.Intn(4) != 0 {
+				p = live[rng.Intn(len(live))]
+			} else {
+				p = freshPath()
+				live = append(live, p)
+			}
+			d := data()
+			ops = append(ops, Op{Path: p, Off: sizes[p], Data: d,
+				Fsync: rng.Intn(4) == 0, Close: rng.Intn(6) == 0})
+			sizes[p] += int64(len(d))
+		case roll < 60:
+			p := freshPath()
+			live = append(live, p)
+			ops = append(ops, Op{Kind: OpCreate, Path: p, Close: rng.Intn(2) == 0})
+		case roll < 74:
+			// Rename to an always-fresh destination (never replacing).
+			i := rng.Intn(len(live))
+			src := live[i]
+			dst := freshPath()
+			live[i] = dst
+			sizes[dst] = sizes[src]
+			delete(sizes, src)
+			ops = append(ops, Op{Kind: OpRename, Path: src, Path2: dst})
+		case roll < 82:
+			// Clean unlink: the handle (if any) closes first.
+			i := rng.Intn(len(live))
+			p := live[i]
+			live = append(live[:i], live[i+1:]...)
+			delete(sizes, p)
+			ops = append(ops, Op{Kind: OpUnlink, Path: p, Close: true})
+		case roll < 88:
+			if len(dirs) >= 2 {
+				continue // keep the tree small; reroll
+			}
+			d := fmt.Sprintf("/sd%d", nextDir)
+			nextDir++
+			dirs = append(dirs, d)
+			ops = append(ops, Op{Kind: OpMkdir, Path: d})
+		default:
+			ops = append(ops, Op{Kind: OpSyncAll})
+		}
+	}
+	if len(ops) == 0 || ops[len(ops)-1].Kind != OpSyncAll {
+		ops = append(ops, Op{Kind: OpSyncAll})
+	}
+	return ops
+}
+
 // MetadataOps builds a deterministic workload mixing data writes with
 // metadata operations — create, unlink (incl. unlink-while-open), rename
 // (incl. replacing renames), truncate, mkdir — and per-op handle closes,

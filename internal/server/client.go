@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -33,6 +34,28 @@ type File struct {
 	handle uint64
 	path   string
 }
+
+// ShortIOError reports a chunked read or write whose transport failed
+// partway: Acked bytes completed (their replies arrived) before the
+// chunk of InFlight bytes went unanswered. Without the counts a caller
+// would read a mid-transfer disconnect as "nothing happened", when in
+// fact the server may hold every acked byte — and may even have applied
+// the in-flight chunk whose reply was lost. Unwrap exposes the
+// transport error, so errors.Is against the underlying failure holds.
+type ShortIOError struct {
+	Op       string // "read" or "write"
+	Path     string
+	Acked    int // bytes confirmed by replies
+	InFlight int // bytes of the chunk whose reply never arrived
+	Err      error
+}
+
+func (e *ShortIOError) Error() string {
+	return fmt.Sprintf("server: short %s on %s: %d bytes acked, %d in flight: %v",
+		e.Op, e.Path, e.Acked, e.InFlight, e.Err)
+}
+
+func (e *ShortIOError) Unwrap() error { return e.Err }
 
 // call checks the request encoder, unwraps Rerror replies, and checks
 // the reply type. e may be nil for bodyless requests.
@@ -209,6 +232,9 @@ func (f *File) readLoop(typ, want uint8, p []byte, off int64) (int, error) {
 			if err == io.EOF && total > 0 {
 				return total, nil
 			}
+			if errors.Is(err, errConnLost) {
+				return total, &ShortIOError{Op: "read", Path: f.path, Acked: total, InFlight: n, Err: err}
+			}
 			return total, err
 		}
 		d := dec{b: rp}
@@ -251,6 +277,9 @@ func (f *File) writeLoop(typ, want uint8, p []byte, off int64) (int, error) {
 		e.bytes(p[total : total+n])
 		rp, err := f.c.call(typ, want, &e)
 		if err != nil {
+			if errors.Is(err, errConnLost) {
+				return total, &ShortIOError{Op: "write", Path: f.path, Acked: total, InFlight: n, Err: err}
+			}
 			return total, err
 		}
 		d := dec{b: rp}
@@ -400,11 +429,13 @@ func (t *streamTransport) readLoop() {
 	}
 }
 
-// fail poisons the transport: every outstanding and future call errors.
+// fail poisons the transport: every outstanding and future call errors
+// with an errConnLost chain, so callers (and the File proxies above)
+// can classify the loss with errors.Is.
 func (t *streamTransport) fail(err error) {
 	t.mu.Lock()
 	if t.dead == nil {
-		t.dead = fmt.Errorf("server: connection lost: %w", err)
+		t.dead = fmt.Errorf("%w: %w", errConnLost, err)
 	}
 	pending := t.pending
 	t.pending = make(map[uint32]chan frameResp)
@@ -416,26 +447,40 @@ func (t *streamTransport) fail(err error) {
 
 func (t *streamTransport) call(typ uint8, payload []byte) (uint8, []byte, error) {
 	ch := make(chan frameResp, 1)
+	// ID assignment and the frame write happen under one critical
+	// section (lock order writeMu then mu): if they were split, two
+	// pipelined callers could assign IDs in one order and write frames
+	// in the other, and the server — which executes a session FIFO in
+	// arrival order — would run them in an order that contradicts the
+	// IDs. Request IDs are the replay log's sequence numbers, so they
+	// must agree with execution order.
+	t.writeMu.Lock()
 	t.mu.Lock()
 	if t.dead != nil {
 		err := t.dead
 		t.mu.Unlock()
+		t.writeMu.Unlock()
 		return 0, nil, err
 	}
 	t.nextID++
 	id := t.nextID
 	t.pending[id] = ch
 	t.mu.Unlock()
-
-	t.writeMu.Lock()
 	err := writeFrame(t.rwc, typ, id, payload)
 	t.writeMu.Unlock()
 	if err != nil {
+		// A partial frame is unrecoverable on a shared stream: poison the
+		// transport (wrapping the cause) rather than hand back a raw error
+		// that hides the connection's death from the next caller.
 		t.mu.Lock()
 		delete(t.pending, id)
 		t.mu.Unlock()
+		t.fail(err)
 		t.rwc.Close()
-		return 0, nil, err
+		t.mu.Lock()
+		dead := t.dead
+		t.mu.Unlock()
+		return 0, nil, dead
 	}
 	resp, ok := <-ch
 	if !ok {
@@ -471,7 +516,7 @@ type loopbackTransport struct {
 
 // NewLoopback attaches a deterministic in-process session to srv.
 func NewLoopback(srv *Server, root string) (*Client, error) {
-	s, err := srv.attach(root, nil)
+	s, err := srv.attach(root, nil, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// errInjectedFault marks I/O failed by a FaultConn, so tests can tell
+// an injected fault from an organic one.
+var errInjectedFault = errors.New("server: injected wire fault")
+
+// ErrInjectedFault exposes the injection sentinel for tests outside the
+// package (the crash campaigns classify it with errors.Is).
+var ErrInjectedFault = errInjectedFault
+
+// FaultConn wraps a stream connection and injects the wire faults the
+// served crash campaigns (and the unit tests) exercise:
+//
+//   - CutWriteAfter(n): pass n more written bytes through, then fail the
+//     write and close the connection — a mid-frame disconnect when n
+//     lands inside a frame, a partial header write when n is under
+//     frameHeader, a clean frame-boundary cut when n is 0.
+//   - DuplicateNextWrite: the next complete write is sent twice — a
+//     duplicated reply frame the client must drop by request ID.
+//   - HoldNextWrite: the next complete write is withheld until the write
+//     after it has been sent — two pipelined replies arrive reordered.
+//
+// The duplicate/hold hooks treat each Write call as one frame, which
+// holds for both peers here: writeFrame issues a single Write per frame
+// and neither side buffers its write path.
+type FaultConn struct {
+	inner io.ReadWriteCloser
+
+	mu          sync.Mutex
+	writeBudget int64 // remaining write bytes before the cut; -1 = unlimited
+	dupNext     bool
+	holdNext    bool
+	held        []byte
+}
+
+// NewFaultConn wraps inner with no faults armed.
+func NewFaultConn(inner io.ReadWriteCloser) *FaultConn {
+	return &FaultConn{inner: inner, writeBudget: -1}
+}
+
+// CutWriteAfter arms the write cut: n more bytes pass, then writes fail
+// and the connection closes (tearing any frame the cut lands inside).
+func (f *FaultConn) CutWriteAfter(n int) {
+	f.mu.Lock()
+	f.writeBudget = int64(n)
+	f.mu.Unlock()
+}
+
+// DuplicateNextWrite arms one duplicated frame.
+func (f *FaultConn) DuplicateNextWrite() {
+	f.mu.Lock()
+	f.dupNext = true
+	f.mu.Unlock()
+}
+
+// HoldNextWrite arms one reordering: the next frame is withheld and
+// sent immediately after the frame that follows it.
+func (f *FaultConn) HoldNextWrite() {
+	f.mu.Lock()
+	f.holdNext = true
+	f.mu.Unlock()
+}
+
+func (f *FaultConn) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *FaultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writeBudget >= 0 {
+		if int64(len(p)) >= f.writeBudget {
+			n := int(f.writeBudget)
+			f.writeBudget = 0
+			if n > 0 {
+				f.inner.Write(p[:n])
+			}
+			f.inner.Close()
+			return n, fmt.Errorf("%w: write cut after %d bytes", errInjectedFault, n)
+		}
+		f.writeBudget -= int64(len(p))
+	}
+	if f.holdNext {
+		f.holdNext = false
+		f.held = append([]byte(nil), p...)
+		return len(p), nil
+	}
+	if f.dupNext {
+		f.dupNext = false
+		if _, err := f.inner.Write(p); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := f.inner.Write(p); err != nil {
+		return 0, err
+	}
+	if f.held != nil {
+		held := f.held
+		f.held = nil
+		if _, err := f.inner.Write(held); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+func (f *FaultConn) Close() error { return f.inner.Close() }

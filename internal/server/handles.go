@@ -36,6 +36,14 @@ func (t *handleTable) insert(f vfs.File) uint64 {
 	return uint64(fd)*handleShards + shard
 }
 
+// insertAt re-binds a file at an exact wire handle ID (session
+// re-attach: the client's replay log references its original IDs).
+// vfs.ErrExist if the ID is live.
+func (t *handleTable) insertAt(id uint64, f vfs.File) error {
+	tab, fd := t.locate(id)
+	return tab.InsertAt(fd, f)
+}
+
 func (t *handleTable) locate(id uint64) (*vfs.FDTable, int) {
 	return t.shards[id%handleShards], int(id / handleShards)
 }

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"splitfs/internal/vfs"
+)
+
+// countingFS counts successful applications of the non-idempotent
+// namespace operations, so the exactly-once tests can prove a replayed
+// request's effect did not land twice. (A replayed rename whose source
+// is already gone still reaches the backend and fails there before the
+// session layer heals it — an attempt, not a second application.)
+type countingFS struct {
+	vfs.FileSystem
+	renames atomic.Int64
+	unlinks atomic.Int64
+	mkdirs  atomic.Int64
+}
+
+func (c *countingFS) Rename(oldPath, newPath string) error {
+	err := c.FileSystem.Rename(oldPath, newPath)
+	if err == nil {
+		c.renames.Add(1)
+	}
+	return err
+}
+
+func (c *countingFS) Unlink(path string) error {
+	err := c.FileSystem.Unlink(path)
+	if err == nil {
+		c.unlinks.Add(1)
+	}
+	return err
+}
+
+func (c *countingFS) Mkdir(path string, perm uint32) error {
+	err := c.FileSystem.Mkdir(path, perm)
+	if err == nil {
+		c.mkdirs.Add(1)
+	}
+	return err
+}
+
+// resumeHarness wires a resumable client to a restartable server: the
+// redial callback always connects to the current server, waiting (after
+// the first dial) until the session has parked so a warm re-attach
+// cannot race the server's own detection of the loss.
+type resumeHarness struct {
+	mu  sync.Mutex
+	srv *Server
+
+	dials    atomic.Int64
+	waitPark atomic.Bool
+}
+
+func (h *resumeHarness) current() *Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.srv
+}
+
+func (h *resumeHarness) swap(srv *Server) {
+	h.mu.Lock()
+	h.srv = srv
+	h.mu.Unlock()
+}
+
+func (h *resumeHarness) redial() (io.ReadWriteCloser, error) {
+	if h.dials.Add(1) > 1 && h.waitPark.Load() {
+		for h.current().ParkedSessions() == 0 {
+			runtime.Gosched()
+		}
+	}
+	cs, ss := net.Pipe()
+	go h.current().ServeConn(ss)
+	return cs, nil
+}
+
+// A reply dropped by a daemon-death fault (executed, never
+// acknowledged) must not re-execute when the client replays it: the
+// reply cache answers, and the operation applies exactly once.
+func TestWarmResumeExactlyOnce(t *testing.T) {
+	backend := &countingFS{FileSystem: faultBackend(t)}
+	var failNext atomic.Bool
+	srv := New(backend, Config{
+		Workers:     2,
+		FailReplies: func() bool { return failNext.CompareAndSwap(true, false) },
+	})
+	defer srv.Close()
+	h := &resumeHarness{srv: srv}
+	h.waitPark.Store(true)
+
+	c, err := DialResumable(h.redial, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.OpenFile("/d/f", vfs.O_CREATE|vfs.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rename with the reply dropped: executed server-side, never acked.
+	failNext.Store(true)
+	if err := c.Rename("/d/f", "/d/g"); err != nil {
+		t.Fatalf("rename across dropped reply: %v", err)
+	}
+	if n := backend.renames.Load(); n != 1 {
+		t.Fatalf("rename executed %d times, want exactly once", n)
+	}
+	st := srv.Stats()
+	if st.DroppedReplies != 1 || st.Reattached != 1 || st.ReplayCacheHits != 1 {
+		t.Fatalf("stats after warm resume: %+v", st)
+	}
+
+	// Unlink with the reply dropped, same guarantee.
+	failNext.Store(true)
+	if err := c.Unlink("/d/g"); err != nil {
+		t.Fatalf("unlink across dropped reply: %v", err)
+	}
+	if n := backend.unlinks.Load(); n != 1 {
+		t.Fatalf("unlink executed %d times, want exactly once", n)
+	}
+	if _, err := c.Stat("/d/g"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat unlinked file: %v", err)
+	}
+
+	// A positional append with the reply dropped must not double-apply.
+	g, err := c.OpenFile("/d/log", vfs.O_CREATE|vfs.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("aaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	failNext.Store(true)
+	if _, err := g.WriteAt([]byte("bbbb"), 4); err != nil {
+		t.Fatalf("append across dropped reply: %v", err)
+	}
+	fi, err := g.Stat()
+	if err != nil || fi.Size != 8 {
+		t.Fatalf("appended file size %d (%v), want 8", fi.Size, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Killing the server entirely (the parked session dies with it) forces
+// the cold path: a fresh attach, handle re-establishment at original
+// IDs via Treopen, and an in-order replay of the tail since the last
+// barrier — with heals absorbing operations the backend already holds.
+func TestColdResumeAfterRestart(t *testing.T) {
+	backend := &countingFS{FileSystem: faultBackend(t)}
+	srv1 := New(backend, Config{Workers: 2, TokenSalt: 1})
+	h := &resumeHarness{srv: srv1}
+
+	c, err := DialResumable(h.redial, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := c.OpenFile("/d/f1", vfs.O_CREATE|vfs.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncAll(); err != nil {
+		t.Fatal(err) // barrier: everything above leaves the replay log
+	}
+	// Post-barrier tail: a new file, writes on both handles, a rename.
+	f2, err := c.OpenFile("/d/f2", vfs.O_CREATE|vfs.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.WriteAt([]byte("world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/d/f1", "/d/f1r"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon dies. The backend survives (it is the recovered file
+	// system); every acked operation above is still applied in it.
+	srv1.Close()
+	srv2 := New(backend, Config{Workers: 2, TokenSalt: 2})
+	defer srv2.Close()
+	h.swap(srv2)
+
+	// The next operation discovers the loss, cold-attaches to the new
+	// generation, reopens f1 (pre-barrier, now under its renamed name)
+	// and f2 (converted inline from its logged open), and replays the
+	// tail. The rename already applied, so its replay must heal.
+	if _, err := f2.WriteAt([]byte("WORLD"), 0); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+	if err := c.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if renames := backend.renames.Load(); renames != 1 {
+		t.Fatalf("rename executed %d times across restart, want exactly once", renames)
+	}
+	if st := srv2.Stats(); st.HealedReplays == 0 {
+		t.Fatalf("expected healed replays on the new generation: %+v", st)
+	}
+	fi, err := c.Stat("/d/f1r")
+	if err != nil || fi.Size != 5 {
+		t.Fatalf("renamed file after cold resume: %+v, %v", fi, err)
+	}
+	if _, err := c.Stat("/d/f1"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("old name still present after cold resume: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f2.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, []byte("WORLD")) {
+		t.Fatalf("f2 content after cold resume: %q, %v", buf, err)
+	}
+	buf = make([]byte, 5)
+	if _, err := f1.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, []byte("HELLO")) {
+		t.Fatalf("f1 content after cold resume: %q, %v", buf, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// wedgedConn fails writes once armed but never closes the underlying
+// pipe, so the server cannot notice the loss: the client's re-attach
+// arrives while the server still believes the old transport is alive.
+type wedgedConn struct {
+	inner io.ReadWriteCloser
+	fail  atomic.Bool
+}
+
+func (c *wedgedConn) Read(p []byte) (int, error) { return c.inner.Read(p) }
+
+func (c *wedgedConn) Write(p []byte) (int, error) {
+	if c.fail.Load() {
+		return 0, errors.New("transport wedged")
+	}
+	return c.inner.Write(p)
+}
+
+func (c *wedgedConn) Close() error { return nil } // the pipe stays open
+
+// A client that reconnects before the server's read loop notices the old
+// transport died must take the session over — not bounce to a cold
+// attach that leaks the old session — and the superseded read loop's
+// eventual failure must not park over the adopted transport or count as
+// a disconnect.
+func TestWarmResumeTakeover(t *testing.T) {
+	backend := &countingFS{FileSystem: faultBackend(t)}
+	srv := New(backend, Config{Workers: 2})
+	defer srv.Close()
+	h := &resumeHarness{srv: srv}
+
+	var wedged *wedgedConn
+	var mu sync.Mutex
+	redial := func() (io.ReadWriteCloser, error) {
+		rwc, err := h.redial()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if wedged == nil {
+			wedged = &wedgedConn{inner: rwc}
+			return wedged, nil
+		}
+		return rwc, nil
+	}
+	c, err := DialResumable(redial, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The client's next write dies, but the server-side read loop stays
+	// blocked on the still-open pipe: the re-attach races ahead of the
+	// server's own loss detection and must take the session over.
+	wedged.fail.Store(true)
+	if err := c.Mkdir("/d2", 0o755); err != nil {
+		t.Fatalf("mkdir across wedged transport: %v", err)
+	}
+	if n := backend.mkdirs.Load(); n != 2 {
+		t.Fatalf("mkdir executed %d times, want 2", n)
+	}
+	st := srv.Stats()
+	if st.Reattached != 1 || st.ParkedSessions != 0 {
+		t.Fatalf("takeover stats: %+v", st)
+	}
+	if st.TornDisconnects != 0 || st.OtherDisconnects != 0 {
+		t.Fatalf("superseded loop counted as a disconnect: %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.SessionCount() != 0 {
+		t.Fatalf("takeover leaked a session: %d live", srv.SessionCount())
+	}
+}
+
+// A torn transport (FaultConn cut) under a resumable client must be
+// invisible to the caller: the op that lost its reply completes on the
+// re-attached session, exactly once.
+func TestWarmResumeAcrossTornFrame(t *testing.T) {
+	backend := &countingFS{FileSystem: faultBackend(t)}
+	srv := New(backend, Config{Workers: 2})
+	defer srv.Close()
+	h := &resumeHarness{srv: srv}
+	h.waitPark.Store(true)
+
+	var fc *FaultConn
+	var fcMu sync.Mutex
+	redial := func() (io.ReadWriteCloser, error) {
+		rwc, err := h.redial()
+		if err != nil {
+			return nil, err
+		}
+		fcMu.Lock()
+		fc = NewFaultConn(rwc)
+		rwc = fc
+		fcMu.Unlock()
+		return rwc, nil
+	}
+	c, err := DialResumable(redial, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fcMu.Lock()
+	fc.CutWriteAfter(3) // the next request dies inside its frame header
+	fcMu.Unlock()
+	if err := c.Mkdir("/d2", 0o755); err != nil {
+		t.Fatalf("mkdir across torn frame: %v", err)
+	}
+	if n := backend.mkdirs.Load(); n != 2 {
+		t.Fatalf("mkdir executed %d times, want 2", n)
+	}
+	fi, err := c.Stat("/d2")
+	if err != nil || !fi.IsDir {
+		t.Fatalf("stat after torn-frame resume: %+v, %v", fi, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

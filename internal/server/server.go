@@ -2,11 +2,13 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/vfs"
 )
@@ -17,6 +19,55 @@ type Config struct {
 	// bounds cross-session concurrency; within a session requests always
 	// execute FIFO.
 	Workers int
+
+	// TokenSalt diversifies re-attach tokens across server generations.
+	// A restarted server (the crash campaigns build one per recovery)
+	// should use a different salt so a stale token from the previous
+	// generation cannot collide with a fresh session's token.
+	TokenSalt uint64
+
+	// FailReplies, when set, is consulted before every reply frame is
+	// written; returning true makes the server close the connection
+	// instead of replying — the executed-but-unacknowledged window a real
+	// daemon death creates. The crash campaigns key this on the simulated
+	// device's CrashFired, so an operation is only ever acknowledged if
+	// it completed before the durable image froze (the SetFenceFilter
+	// pattern applied to the wire).
+	FailReplies func() bool
+
+	// Logf, when set, receives disconnect classification and re-attach
+	// diagnostics (cmd/splitfsd wires log.Printf here).
+	Logf func(format string, args ...any)
+}
+
+// wireStats is the server-side transport/replay counter set.
+type wireStats struct {
+	cleanCloses      atomic.Int64
+	tornDisconnects  atomic.Int64
+	otherDisconnects atomic.Int64
+	parkedSessions   atomic.Int64
+	reattached       atomic.Int64
+	replayedRequests atomic.Int64
+	replayCacheHits  atomic.Int64
+	healedReplays    atomic.Int64
+	droppedReplies   atomic.Int64
+}
+
+// WireStats is a snapshot of the server's transport and replay counters:
+// how connections ended (clean close at a frame boundary vs. torn
+// mid-frame vs. other transport errors), how many resumable sessions
+// parked and re-attached, and how replayed requests resolved (served
+// from the exactly-once cache, executed fresh, healed).
+type WireStats struct {
+	CleanCloses      int64
+	TornDisconnects  int64
+	OtherDisconnects int64
+	ParkedSessions   int64 // cumulative park events
+	Reattached       int64
+	ReplayedRequests int64
+	ReplayCacheHits  int64
+	HealedReplays    int64
+	DroppedReplies   int64 // replies suppressed by FailReplies
 }
 
 // Server multiplexes client sessions onto one vfs.FileSystem. The
@@ -31,14 +82,65 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
+	byToken  map[uint64]*Session // resumable sessions, keyed by re-attach token
 	nextSess uint64
 	conns    map[*serverConn]bool
 	closed   bool
+
+	stats wireStats
 
 	work      chan *Session
 	quit      chan struct{}
 	workersUp sync.Once
 	wg        sync.WaitGroup
+}
+
+// logf forwards to Config.Logf when set.
+func (srv *Server) logf(format string, args ...any) {
+	if srv.cfg.Logf != nil {
+		srv.cfg.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the transport/replay counters.
+func (srv *Server) Stats() WireStats {
+	return WireStats{
+		CleanCloses:      srv.stats.cleanCloses.Load(),
+		TornDisconnects:  srv.stats.tornDisconnects.Load(),
+		OtherDisconnects: srv.stats.otherDisconnects.Load(),
+		ParkedSessions:   srv.stats.parkedSessions.Load(),
+		Reattached:       srv.stats.reattached.Load(),
+		ReplayedRequests: srv.stats.replayedRequests.Load(),
+		ReplayCacheHits:  srv.stats.replayCacheHits.Load(),
+		HealedReplays:    srv.stats.healedReplays.Load(),
+		DroppedReplies:   srv.stats.droppedReplies.Load(),
+	}
+}
+
+// ParkedSessions reports how many resumable sessions currently sit
+// parked awaiting re-attach (distinct from the cumulative stat).
+func (srv *Server) ParkedSessions() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	n := 0
+	for _, s := range srv.sessions {
+		s.mu.Lock()
+		if s.parked {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// mix64 is the splitmix64 finalizer — the token generator. Tokens are
+// credentials only against accidental cross-session confusion (a stale
+// client from a previous server generation), not an adversary.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // serverConn is one accepted stream connection (unix socket, net.Pipe).
@@ -58,6 +160,7 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 		fs:       fs,
 		cfg:      cfg,
 		sessions: make(map[uint64]*Session),
+		byToken:  make(map[uint64]*Session),
 		conns:    make(map[*serverConn]bool),
 		work:     make(chan *Session),
 		quit:     make(chan struct{}),
@@ -68,8 +171,10 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 func (srv *Server) FS() vfs.FileSystem { return srv.fs }
 
 // attach creates a session confined to root ("" or "/" = whole tree).
-// A non-root subtree must already exist as a directory.
-func (srv *Server) attach(root string, conn *serverConn) (*Session, error) {
+// A non-root subtree must already exist as a directory. A resumable
+// session gets a nonzero re-attach token and survives transport loss by
+// parking (see Session.disconnect).
+func (srv *Server) attach(root string, conn *serverConn, resumable bool) (*Session, error) {
 	root = vfs.CleanPath(root)
 	if root != "/" {
 		fi, err := srv.fs.Stat(root)
@@ -86,15 +191,56 @@ func (srv *Server) attach(root string, conn *serverConn) (*Session, error) {
 		return nil, errServerClosed
 	}
 	srv.nextSess++
-	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn}
+	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn, resumable: resumable}
+	if resumable {
+		s.token = mix64(srv.cfg.TokenSalt ^ mix64(s.id))
+		if s.token == 0 {
+			s.token = 1 // zero means "no token" on the wire
+		}
+		srv.byToken[s.token] = s
+	}
 	srv.sessions[s.id] = s
 	return s, nil
 }
 
-// detach unregisters a session (teardown calls it once).
-func (srv *Server) detach(id uint64) {
+// reattach resolves a live session by token and hands it conn, writing
+// the handshake reply atomically with the adoption (see Session.adopt).
+// The session may still think it owns its old transport — a client can
+// reconnect before the server notices the loss — in which case the
+// adoption is a takeover. Any lookup failure reads as errUnknownSession
+// so the client falls back to a cold attach — always safe, never
+// privileged.
+func (srv *Server) reattach(token uint64, conn *serverConn, handshake func() error) (*Session, error) {
 	srv.mu.Lock()
-	delete(srv.sessions, id)
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil, errServerClosed
+	}
+	s := srv.byToken[token]
+	srv.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w (token unknown)", errUnknownSession)
+	}
+	if err := s.adopt(conn, handshake); err != nil {
+		if errors.Is(err, errUnknownSession) {
+			return nil, err
+		}
+		// The session was adopted but the handshake write failed; hand it
+		// back so the caller can re-park it for the next attempt.
+		return s, err
+	}
+	srv.stats.reattached.Add(1)
+	srv.logf("server: session %d: re-attached", s.id)
+	return s, nil
+}
+
+// detach unregisters a session (teardown calls it once).
+func (srv *Server) detach(s *Session) {
+	srv.mu.Lock()
+	delete(srv.sessions, s.id)
+	if s.token != 0 {
+		delete(srv.byToken, s.token)
+	}
 	srv.mu.Unlock()
 }
 
@@ -200,27 +346,43 @@ func (s *Session) drain() {
 // reply writes one response frame. An oversized payload (a handler bug
 // — handlers bound their replies) degrades to an Rerror so one request
 // cannot wedge the connection; an I/O failure kills the connection (the
-// read loop then tears the session down).
+// read loop then tears the session down or parks it). The connection
+// pointer is read under replyMu because park/adopt swap it. When the
+// FailReplies hook fires the reply is dropped and the connection killed
+// instead — the executed-but-unacknowledged window of a daemon death —
+// so an acknowledged operation always finished executing before the
+// fault point.
 func (s *Session) reply(typ uint8, reqID uint32, payload []byte) {
-	if s.conn == nil {
-		return
-	}
 	if len(payload) > maxFrame-frameHeader {
 		typ, reqID, payload = encodeError(reqID, fmt.Errorf("server: %s reply exceeds the wire payload bound", msgName(typ)))
 	}
 	s.replyMu.Lock()
-	err := writeFrame(s.conn.rwc, typ, reqID, payload)
+	conn := s.conn
+	if conn == nil {
+		s.replyMu.Unlock()
+		return
+	}
+	if fr := s.srv.cfg.FailReplies; fr != nil && fr() {
+		s.replyMu.Unlock()
+		s.srv.stats.droppedReplies.Add(1)
+		conn.rwc.Close()
+		return
+	}
+	err := writeFrame(conn.rwc, typ, reqID, payload)
 	s.replyMu.Unlock()
 	if err != nil {
-		s.conn.rwc.Close()
+		conn.rwc.Close()
 	}
 }
 
 // ServeConn speaks the wire protocol over one stream connection. The
-// first frame must be Tattach; afterwards frames are enqueued for the
-// dispatcher. ServeConn blocks until the connection fails or closes and
-// always leaves the session torn down (every handle closed) — the
-// mid-operation disconnect guarantee.
+// first frame must be Tattach (optionally marking the session
+// resumable) or Treattach (adopting a parked session by token);
+// afterwards frames are enqueued for the dispatcher. ServeConn blocks
+// until the connection fails or closes. A plain session is always left
+// torn down (every handle closed) — the mid-operation disconnect
+// guarantee; a resumable one parks instead, holding its handles and
+// reply cache for the client's re-attach.
 func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 	srv.startWorkers()
 	conn := &serverConn{rwc: rwc, br: bufio.NewReaderSize(rwc, 64<<10)}
@@ -243,33 +405,59 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 	if err != nil {
 		return fmt.Errorf("server: attach read: %w", err)
 	}
-	if typ != tAttach {
-		writeFrame(rwc, rError, reqID, encodeAttachError(fmt.Errorf("expected Tattach, got %s", msgName(typ))))
-		return fmt.Errorf("%w: first frame %s, want Tattach", errBadHandshake, msgName(typ))
-	}
+	var s *Session
 	d := dec{b: payload}
-	root := d.str()
-	if d.err != nil {
-		return fmt.Errorf("server: malformed Tattach: %w", d.err)
-	}
-	s, err := srv.attach(root, conn)
-	if err != nil {
-		etyp, eid, ep := encodeError(reqID, err)
-		writeFrame(rwc, etyp, eid, ep)
-		return err
-	}
-	var e enc
-	e.str(srv.fs.Name())
-	e.u64(s.id)
-	if err := writeFrame(rwc, rAttach, reqID, e.b); err != nil {
-		s.teardown()
-		return err
+	switch typ {
+	case tAttach:
+		// Payload: root string, then an optional resumable flag byte
+		// (absent in the original protocol — old clients decode fine).
+		root := d.str()
+		resumable := len(d.b) > 0 && d.u8() == 1
+		if d.err != nil {
+			return fmt.Errorf("server: malformed Tattach: %w", d.err)
+		}
+		s, err = srv.attach(root, conn, resumable)
+		if err != nil {
+			etyp, eid, ep := encodeError(reqID, err)
+			writeFrame(rwc, etyp, eid, ep)
+			return err
+		}
+		var e enc
+		e.str(srv.fs.Name())
+		e.u64(s.id)
+		e.u64(s.token)
+		if werr := writeFrame(rwc, rAttach, reqID, e.b); werr != nil {
+			s.teardown()
+			return werr
+		}
+	case tReattach:
+		token := d.u64()
+		if d.err != nil {
+			return fmt.Errorf("server: malformed Treattach: %w", d.err)
+		}
+		s, err = srv.reattach(token, conn, func() error {
+			var e enc
+			e.str(srv.fs.Name())
+			return writeFrame(rwc, rReattach, reqID, e.b)
+		})
+		if err != nil {
+			if s != nil {
+				s.disconnect(conn, err) // adopted, handshake write failed: re-park
+			} else {
+				etyp, eid, ep := encodeError(reqID, err)
+				writeFrame(rwc, etyp, eid, ep)
+			}
+			return err
+		}
+	default:
+		writeFrame(rwc, rError, reqID, encodeAttachError(fmt.Errorf("expected Tattach or Treattach, got %s", msgName(typ))))
+		return fmt.Errorf("%w: first frame %s, want Tattach or Treattach", errBadHandshake, msgName(typ))
 	}
 
 	for {
 		typ, reqID, payload, err := readFrame(conn.br)
 		if err != nil {
-			s.teardown()
+			s.disconnect(conn, err)
 			if err == io.EOF {
 				return nil
 			}
@@ -328,15 +516,14 @@ func (srv *Server) Close() error {
 	}
 	srv.mu.Unlock()
 
-	// Closing the connections unblocks every read loop, which tears its
-	// session down; loopback sessions (conn == nil) are torn down here.
+	// Closing the connections unblocks every read loop; tearing every
+	// session down directly (not via the read loops) also covers loopback
+	// sessions and parked ones, which have no connection to close.
 	for _, c := range conns {
 		c.rwc.Close()
 	}
 	for _, s := range sess {
-		if s.conn == nil {
-			s.teardown()
-		}
+		s.teardown()
 	}
 	close(srv.quit)
 	srv.wg.Wait()

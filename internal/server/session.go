@@ -1,7 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -14,20 +16,87 @@ import (
 // every client path is resolved lexically against the session root, so
 // "../.." walks clamp at the root instead of escaping it (the gofer
 // confinement rule).
+//
+// A resumable session additionally survives its transport: on connection
+// loss it parks (handles stay open, the reply cache stays warm) until
+// the client re-attaches by token, and every reply it renders is cached
+// by request ID so a replayed request that already executed is answered
+// from the cache instead of executing twice — the exactly-once rule for
+// non-idempotent operations (rename, unlink, append, truncate).
 type Session struct {
 	srv  *Server
 	id   uint64
 	root string // cleaned; "/" means the whole tree
 	ht   *handleTable
 
+	resumable bool
+	token     uint64 // re-attach credential (0 for non-resumable)
+
 	mu      sync.Mutex
 	queue   []request // pending requests (stream transport only)
 	running bool      // a worker currently owns this session
 	closed  bool      // no further requests accepted
 	torn    bool      // teardown has run
+	parked  bool      // transport lost; awaiting re-attach
 
-	conn    *serverConn // nil for loopback sessions
+	conn    *serverConn // guarded by replyMu; nil for loopback and while parked
 	replyMu sync.Mutex  // serializes reply frames onto conn
+
+	replies replyCache // exactly-once reply cache (resumable sessions)
+}
+
+// replyCacheCap bounds the per-session reply cache. The resumable client
+// keeps at most a handful of requests outstanding and truncates its
+// replay log at every acknowledged SyncAll barrier, so the window of
+// request IDs a replay can present is far smaller than this.
+const replyCacheCap = 512
+
+// replyCacheMaxEntry bounds one cached payload; larger replies (big
+// sequential reads) are not cached, and a replayed request that misses
+// re-executes — safe for every operation the resumable client logs
+// (positional I/O and namespace ops), documented as the reason resumable
+// clients should prefer positional reads.
+const replyCacheMaxEntry = 128 << 10
+
+type cachedReply struct {
+	typ     uint8
+	payload []byte
+}
+
+// replyCache is a bounded FIFO map of request ID → rendered reply.
+type replyCache struct {
+	mu   sync.Mutex
+	m    map[uint32]cachedReply
+	fifo []uint32
+}
+
+func (c *replyCache) put(id uint32, typ uint8, payload []byte) {
+	if len(payload) > replyCacheMaxEntry {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[uint32]cachedReply)
+	}
+	if _, ok := c.m[id]; ok {
+		return
+	}
+	for len(c.fifo) >= replyCacheCap {
+		delete(c.m, c.fifo[0])
+		c.fifo = c.fifo[1:]
+	}
+	// Cached payloads are retained beyond the dispatch that built them;
+	// copy so no caller-owned buffer is shared.
+	c.m[id] = cachedReply{typ: typ, payload: append([]byte(nil), payload...)}
+	c.fifo = append(c.fifo, id)
+}
+
+func (c *replyCache) get(id uint32) (uint8, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[id]
+	return r.typ, r.payload, ok
 }
 
 // request is one decoded-enough frame waiting for dispatch.
@@ -68,6 +137,101 @@ func (s *Session) detached() bool {
 	return s.closed
 }
 
+// Token returns the session's re-attach token (0 for non-resumable
+// sessions).
+func (s *Session) Token() uint64 { return s.token }
+
+// park detaches the transport but keeps the session alive — handles
+// open, reply cache warm — for a later re-attach. from is the connection
+// the caller believes it is detaching: if a takeover re-attach already
+// swapped in a newer transport, park reports superseded and leaves the
+// session alone. Reports parked=false, superseded=false when the session
+// cannot park (not resumable, or already closed), in which case the
+// caller tears it down instead. Lock order: s.mu, then replyMu — adopt
+// holds both across its transition, so park sees either the old or the
+// new transport, never a half-installed one.
+func (s *Session) park(from *serverConn) (parked, superseded bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replyMu.Lock()
+	defer s.replyMu.Unlock()
+	if from != nil && s.conn != from {
+		return false, true
+	}
+	if s.closed || !s.resumable {
+		return false, false
+	}
+	s.parked = true
+	s.conn = nil
+	return true, false
+}
+
+// adopt hands a session a new transport. A parked session simply
+// resumes; a live one is taken over — the client reconnected before the
+// server noticed the old transport die, so the stale connection is
+// closed and its read loop's eventual failure reads as superseded (see
+// park) instead of parking over the new transport. Only a closed session
+// refuses, as errUnknownSession, sending the client to a cold attach —
+// always safe, never privileged. The handshake reply is written while
+// replyMu is held — the instant conn is visible, a worker draining
+// requests queued before the loss may reply on it, and that frame must
+// not interleave with the handshake frame.
+func (s *Session) adopt(conn *serverConn, handshake func() error) error {
+	s.mu.Lock()
+	s.replyMu.Lock()
+	if s.closed {
+		s.replyMu.Unlock()
+		s.mu.Unlock()
+		return fmt.Errorf("%w (session %d closed)", errUnknownSession, s.id)
+	}
+	s.parked = false
+	old := s.conn
+	s.conn = conn
+	s.mu.Unlock()
+	defer s.replyMu.Unlock()
+	if old != nil {
+		old.rwc.Close() // kick the superseded read loop off the old transport
+		s.srv.logf("server: session %d: transport takeover", s.id)
+	}
+	if handshake != nil {
+		if err := handshake(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// disconnect handles a read-loop failure on conn: classify the loss
+// (clean peer close at a frame boundary vs. torn mid-frame vs. other),
+// then park a resumable session or tear a plain one down. A loop whose
+// transport was superseded by a takeover re-attach is a no-op — the
+// session already moved on, and the loss it reports was deliberate.
+func (s *Session) disconnect(conn *serverConn, err error) {
+	srv := s.srv
+	parked, superseded := s.park(conn)
+	if superseded {
+		srv.logf("server: session %d: superseded transport closed", s.id)
+		return
+	}
+	switch {
+	case err == io.EOF:
+		srv.stats.cleanCloses.Add(1)
+		srv.logf("server: session %d: clean close", s.id)
+	case errors.Is(err, errTornFrame):
+		srv.stats.tornDisconnects.Add(1)
+		srv.logf("server: session %d: torn mid-frame disconnect: %v", s.id, err)
+	default:
+		srv.stats.otherDisconnects.Add(1)
+		srv.logf("server: session %d: transport error: %v", s.id, err)
+	}
+	if parked {
+		srv.stats.parkedSessions.Add(1)
+		srv.logf("server: session %d: parked for re-attach", s.id)
+		return
+	}
+	s.teardown()
+}
+
 // teardown closes the session. If a worker is mid-request the teardown
 // is deferred to that worker (it observes closed and finishes it), so a
 // handle is never closed underneath an executing operation. Idempotent.
@@ -97,13 +261,59 @@ func (s *Session) finishTeardown() {
 	s.running = false
 	s.mu.Unlock()
 	s.ht.closeAll()
-	s.srv.detach(s.id)
+	s.srv.detach(s)
 }
 
 // handle executes one request against the backend and renders the reply
 // frame. It is the single entry point for both transports: the loopback
 // calls it inline, the dispatcher calls it from a worker.
+//
+// A request carrying flagReplay is a client re-send after transport
+// loss. If the original already executed, its cached reply is returned
+// verbatim (exactly-once); otherwise the request executes fresh under
+// the replay heal rules (healReplay) — a replayed rename/unlink whose
+// source is already gone, or a replayed mkdir that already took effect,
+// reads as success, because in-order replay guarantees the only way the
+// precondition can be missing is that the original applied durably.
 func (s *Session) handle(typ uint8, reqID uint32, payload []byte) (uint8, uint32, []byte) {
+	replay := typ&flagReplay != 0
+	typ &^= flagReplay
+	if replay {
+		s.srv.stats.replayedRequests.Add(1)
+		if rtyp, rp, ok := s.replies.get(reqID); ok {
+			s.srv.stats.replayCacheHits.Add(1)
+			return rtyp, reqID, rp
+		}
+	}
+	rtyp, rid, rp := s.execute(typ, reqID, payload, replay)
+	if s.resumable {
+		s.replies.put(reqID, rtyp, rp)
+	}
+	return rtyp, rid, rp
+}
+
+// healReplay reports whether err, produced by a replayed request of the
+// given type, proves the original execution already applied. Sound
+// because replay is in-order from the last durable barrier: a replayed
+// unlink/rename can only find its source missing if the original ran
+// (the syscall that created the source replays first), and a replayed
+// mkdir can only collide with itself.
+func healReplay(typ uint8, err error) bool {
+	switch typ {
+	case tMkdir:
+		return errors.Is(err, vfs.ErrExist)
+	case tUnlink, tRmdir, tRename:
+		return errors.Is(err, vfs.ErrNotExist)
+	case tClose:
+		// The original close freed the handle (or a cold re-attach never
+		// re-established a handle that was closed later in the log).
+		return errors.Is(err, vfs.ErrBadFD)
+	}
+	return false
+}
+
+// execute runs one decoded request against the backend.
+func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) (uint8, uint32, []byte) {
 	d := dec{b: payload}
 	var e enc
 	var err error
@@ -280,6 +490,19 @@ func (s *Session) handle(typ uint8, reqID uint32, payload []byte) (uint8, uint32
 		}
 	case tSyncAll:
 		err = s.syncAll()
+	case tReopen:
+		id := d.u64()
+		flag := int(d.u32())
+		perm := d.u32()
+		off := d.i64()
+		n := int(d.u16())
+		chain := make([]string, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			chain = append(chain, d.str())
+		}
+		if d.err == nil {
+			err = s.reopen(id, flag, perm, off, chain)
+		}
 	default:
 		err = fmt.Errorf("server: unknown message %s", msgName(typ))
 	}
@@ -290,10 +513,64 @@ func (s *Session) handle(typ uint8, reqID uint32, payload []byte) (uint8, uint32
 	if err == nil && e.err != nil {
 		err = e.err // a reply field that cannot be encoded (over-long name)
 	}
+	if err != nil && replay && healReplay(typ, err) {
+		err = nil
+		e = enc{} // healed ops all carry empty reply bodies
+		s.srv.stats.healedReplays.Add(1)
+	}
 	if err != nil {
 		return encodeError(reqID, err)
 	}
 	return rtyp, reqID, e.b
+}
+
+// reopen re-establishes a handle at its original wire ID during a cold
+// resume (the session is fresh; the parked one died with the server).
+// chain lists every path the file may durably sit at, oldest first: the
+// path the handle was opened under (or held at the last barrier) plus
+// each rename destination the client sent since. Recovery rolled the
+// namespace back to some prefix of those operations, so exactly one
+// chain entry exists — probe newest first, and if none exists the file's
+// creation itself was lost: recreate it empty at the oldest name and let
+// the replayed log rebuild it. O_TRUNC/O_EXCL are stripped — a re-open
+// must never destroy recovered data.
+func (s *Session) reopen(id uint64, flag int, perm uint32, off int64, chain []string) error {
+	if len(chain) == 0 {
+		return vfs.WrapPath("reopen", "", vfs.ErrInval)
+	}
+	if _, err := s.ht.get(id); err == nil {
+		return nil // already bound: an earlier resume attempt won
+	}
+	probe := flag &^ (vfs.O_TRUNC | vfs.O_EXCL | vfs.O_CREATE)
+	var f vfs.File
+	for i := len(chain) - 1; i >= 0; i-- {
+		g, err := s.srv.fs.OpenFile(s.resolve(chain[i]), probe, perm)
+		if err == nil {
+			f = g
+			break
+		}
+		if !errors.Is(err, vfs.ErrNotExist) {
+			return err
+		}
+	}
+	if f == nil {
+		g, err := s.srv.fs.OpenFile(s.resolve(chain[0]), probe|vfs.O_CREATE, perm)
+		if err != nil {
+			return err
+		}
+		f = g
+	}
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := s.ht.insertAt(id, f); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
 }
 
 // withFile resolves a handle and runs fn on it.

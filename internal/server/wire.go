@@ -77,7 +77,20 @@ const (
 	tSyncAll
 	rSyncAll
 	rError
+	tReattach
+	rReattach
+	tReopen
+	rReopen
 )
+
+// flagReplay marks a request the client is re-sending after a transport
+// loss: the original may or may not have executed. The dispatcher masks
+// the flag off before decoding and (a) answers from the session's reply
+// cache when the request already executed — the exactly-once path — or
+// (b) executes it fresh under the replay heal rules (see Session.handle:
+// a replayed rename/unlink whose source is already gone succeeded the
+// first time). Request type constants stay below the flag bit.
+const flagReplay uint8 = 0x80
 
 var msgNames = map[uint8]string{
 	tAttach: "Tattach", rAttach: "Rattach", tDetach: "Tdetach", rDetach: "Rdetach",
@@ -90,6 +103,8 @@ var msgNames = map[uint8]string{
 	tMkdir: "Tmkdir", rMkdir: "Rmkdir", tUnlink: "Tunlink", rUnlink: "Runlink",
 	tRmdir: "Trmdir", rRmdir: "Rrmdir", tRename: "Trename", rRename: "Rrename",
 	tSyncAll: "Tsyncall", rSyncAll: "Rsyncall", rError: "Rerror",
+	tReattach: "Treattach", rReattach: "Rreattach",
+	tReopen: "Treopen", rReopen: "Rreopen",
 }
 
 func msgName(t uint8) string {
@@ -130,6 +145,25 @@ var errUnexpectedReply = errors.New("server: unexpected reply type")
 // Tattach.
 var errBadHandshake = errors.New("server: bad handshake")
 
+// errTornFrame reports a stream that died in the middle of a frame — a
+// torn disconnect, as opposed to a clean peer close at a frame boundary
+// (io.EOF). Teardown classifies the two differently (WireStats), and the
+// resumable client treats both as transport loss. Always wrapped, so
+// errors.Is holds through the connection-lost chain.
+var errTornFrame = errors.New("server: connection torn mid-frame")
+
+// errConnLost poisons a failed stream transport: every outstanding and
+// future call on it unwraps to this sentinel (and, below it, to the root
+// cause — errTornFrame for a mid-frame tear). The resumable client keys
+// its reconnect-and-replay path on it.
+var errConnLost = errors.New("server: connection lost")
+
+// errUnknownSession answers a Treattach whose token names no parked
+// session: the server restarted (or the session was torn down), so the
+// client must fall back to a cold attach and a full replay. It crosses
+// the wire as codeUnknownSession so errors.Is survives the transport.
+var errUnknownSession = errors.New("server: unknown or unparked session token")
+
 // writeFrame writes one frame to w. Callers serialize access to w.
 func writeFrame(w io.Writer, typ uint8, reqID uint32, payload []byte) error {
 	if len(payload) > maxFrame-frameHeader {
@@ -143,10 +177,17 @@ func writeFrame(w io.Writer, typ uint8, reqID uint32, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame from r.
+// readFrame reads one frame from r. A stream that ends cleanly between
+// frames returns io.EOF untouched; one that dies inside a frame — a
+// partial length header or a truncated body — comes back wrapped in
+// errTornFrame, so teardown can tell a polite close from a torn
+// mid-frame disconnect.
 func readFrame(r io.Reader) (typ uint8, reqID uint32, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, 0, nil, fmt.Errorf("%w: %w in frame header", errTornFrame, err)
+		}
 		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
@@ -154,7 +195,11 @@ func readFrame(r io.Reader) (typ uint8, reqID uint32, payload []byte, err error)
 		return 0, 0, nil, fmt.Errorf("%w (%d bytes)", errFrameTooBig, n)
 	}
 	body := make([]byte, n)
-	if _, err = io.ReadFull(r, body); err != nil {
+	got, err := io.ReadFull(r, body)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, 0, nil, fmt.Errorf("%w: %d of %d body bytes: %w", errTornFrame, got, n, err)
+		}
 		return 0, 0, nil, err
 	}
 	return body[0], binary.LittleEndian.Uint32(body[1:5]), body[5:], nil
@@ -170,6 +215,7 @@ type enc struct {
 }
 
 func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
 func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
 func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
 func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
@@ -301,6 +347,7 @@ const (
 	codeReadOnly
 	codeClosed
 	codeEOF
+	codeUnknownSession
 )
 
 var codeToErr = map[uint16]error{
@@ -315,10 +362,14 @@ var codeToErr = map[uint16]error{
 	codeReadOnly: vfs.ErrReadOnly,
 	codeClosed:   vfs.ErrClosed,
 	codeEOF:      io.EOF,
+
+	codeUnknownSession: errUnknownSession,
 }
 
 func errToCode(err error) uint16 {
 	switch {
+	case errors.Is(err, errUnknownSession):
+		return codeUnknownSession
 	case errors.Is(err, io.EOF):
 		return codeEOF
 	case errors.Is(err, vfs.ErrNotExist):

@@ -544,11 +544,20 @@ func (f *File) Close() error {
 	// pointing at this description, so a re-open racing the relink shares
 	// the staged overlay and observes consistent sizes throughout. The
 	// table lock is held only for O(1) bookkeeping, never across I/O.
+	//
+	// The relink runs even when nothing is staged: a concurrent pipeline
+	// drain (another thread's fsync, or a group SyncAll) may have popped
+	// this file's staged ranges moments ago, and its group commit — or a
+	// commit of metadata ops issued after it — may not be durable yet.
+	// close() is a relink point (§3.4), so like the empty-staged fsync it
+	// must fence and commit the running journal transaction before the
+	// caller learns the close succeeded. Skipping the empty case acked
+	// closes whose preceding metadata ops (e.g. a mkdir) were still
+	// sitting in an uncommitted transaction — found by the served crash
+	// campaign: a concurrent tenant's SyncAll relinked the file early,
+	// close no-opped, and the crash rolled the mkdir back.
 	of.mu.Lock()
-	var err error
-	if len(of.staged) > 0 {
-		err = fs.relinkLocked(of)
-	}
+	err := fs.relinkLocked(of)
 	of.mu.Unlock()
 	if err != nil {
 		return err

@@ -38,6 +38,29 @@ func (t *FDTable) Insert(f File) int {
 	return fd
 }
 
+// InsertAt registers an open file at a caller-chosen descriptor — the
+// session re-attach path, where a reconnecting client re-establishes its
+// handles under their original wire IDs so the replay log's handle
+// references stay valid. ErrExist if the descriptor is live. The next
+// auto-assigned descriptor always jumps past fd, so later Inserts cannot
+// collide with re-established handles.
+func (t *FDTable) InsertAt(fd int, f File) error {
+	if fd < 0 {
+		return ErrInval
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.fds[fd]; ok {
+		return ErrExist
+	}
+	if fd >= t.next {
+		t.next = fd + 1
+	}
+	refs := 1
+	t.fds[fd] = &fdEntry{file: f, refs: &refs}
+	return nil
+}
+
 // Get resolves a descriptor.
 func (t *FDTable) Get(fd int) (File, error) {
 	t.mu.Lock()
