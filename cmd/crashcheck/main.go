@@ -15,7 +15,7 @@
 // Usage:
 //
 //	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
-//	           [-sample N] [-metadata] [-async] [-served]
+//	           [-sample N] [-metadata] [-async] [-served] [-leases]
 //	           [-served-crash] [-tenants N]
 //	           [-double-crash] [-double-sample N]
 //	           [-minimize] [-out FILE] [-workers N] [-v]
@@ -24,6 +24,12 @@
 // service (internal/server): every generated trace runs via a served:
 // session over all nine backends and must land byte-identical to the
 // direct ext4-dax reference.
+//
+// -leases extends the served campaigns with the zero-copy data plane:
+// the differential additionally sweeps served-lease: sessions (mmap
+// leases negotiated, reads and writes through the shared mapping) over
+// all nine backends, and -served-crash sweeps negotiate leases on every
+// tenant with leased-read probes held across the daemon kill.
 //
 // -served-crash adds daemon-death sweeps: -tenants concurrent sessions
 // run mixed workloads over the stream transport (with wire faults on)
@@ -66,6 +72,7 @@ func main() {
 	metadata := flag.Bool("metadata", false, "add metadata-heavy workloads (create/unlink/rename/truncate/mkdir)")
 	async := flag.Bool("async", false, "add async-relink workloads (multi-file fsyncs + group syncs through the background pipeline)")
 	served := flag.Bool("served", false, "add served-backend differential campaigns: each trace through the session/RPC layer over all nine backends must match direct ext4-dax byte for byte")
+	leases := flag.Bool("leases", false, "negotiate the zero-copy lease plane in served campaigns: the differential adds served-lease: sessions over all nine backends, and served-crash tenants hold leases across every daemon kill")
 	servedCrash := flag.Bool("served-crash", false, "add served daemon-death sweeps: kill the daemon at sampled persistence events while tenants are mid-pipeline, recover, restart, reconnect every tenant, and check per-tenant oracles plus exactly-once counters")
 	tenants := flag.Int("tenants", 3, "concurrent tenant sessions per served-crash campaign")
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
@@ -127,6 +134,9 @@ func main() {
 	servedFailed := false
 	if *served {
 		kinds := append([]string{"ext4-dax"}, crash.ServedBackendKinds()...)
+		if *leases {
+			kinds = append(kinds, crash.ServedLeaseBackendKinds()...)
+		}
 		families := []struct {
 			name string
 			gen  func(uint64, int) []crash.Op
@@ -172,7 +182,8 @@ func main() {
 		for _, mode := range modes {
 			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
 				cfg := crash.ServedExploreConfig{Mode: mode, Tenants: *tenants,
-					OpsPerTenant: *nops, Seed: seed, WireFaults: true, Sample: *sample}
+					OpsPerTenant: *nops, Seed: seed, WireFaults: true,
+					Leases: *leases, Sample: *sample}
 				res, err := crash.ServedExplore(cfg)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "crashcheck: served-crash/%v/seed%d: %v\n", mode, seed, err)

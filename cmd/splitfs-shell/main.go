@@ -35,13 +35,15 @@ import (
 func main() {
 	connect := flag.String("connect", "", "unix socket of a running splitfsd (empty = local in-process stack)")
 	sessRoot := flag.String("root", "/", "session root when connecting (the served subtree this shell is confined to)")
+	leases := flag.Bool("leases", false, "negotiate the zero-copy lease plane when connecting (effective only for an in-process daemon; over a socket grants fail cleanly and the session stays on the copy path)")
 	flag.Parse()
 
 	mode := root.Strict
 	var fs vfs.FileSystem
 	var stack *root.Stack
 	if *connect != "" {
-		c, err := server.DialNet("unix", *connect, *sessRoot)
+		c, err := server.DialNetConfig("unix", *connect,
+			server.ClientConfig{Root: *sessRoot, EnableLeases: *leases})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -120,20 +120,31 @@ var gatedSuffixes = []string{
 	"/relinks",
 	"/staging_reclaimed",
 	"/pm_bytes",
+	// Zero-copy data plane (server experiment lease cells): how many
+	// data bytes moved through leased mappings versus the wire codec is
+	// a deterministic property of the op stream, and the baseline
+	// pinning read_wire_bytes at ~0 is the "leased reads cross no wire"
+	// guarantee itself.
+	"/lease_grants",
+	"/leased_read_bytes",
+	"/leased_write_bytes",
+	"/read_wire_bytes",
+	"/write_wire_bytes",
 }
 
 // Gated reports whether a metric row belongs in the regression baseline:
 // the macro matrix's deterministic counters, plus the server
-// experiment's loopback cells — the single-session served stream is
-// deterministic by the loopback-transport contract (requests execute
-// inline), so its counters pin both the backend AND the service layer's
-// transparency. The server experiment's wall-clock session sweep stays
-// ungated.
+// experiment's loopback and lease cells — the single-session served
+// stream is deterministic by the loopback-transport contract (requests
+// execute inline), so its counters pin both the backend AND the service
+// layer's transparency; the lease cells additionally pin the zero-copy
+// data plane's byte routing. The server experiment's wall-clock session
+// sweep stays ungated.
 func Gated(r Record) bool {
 	switch r.Experiment {
 	case "macro":
 	case "server":
-		if !strings.HasPrefix(r.Metric, "loopback/") {
+		if !strings.HasPrefix(r.Metric, "loopback/") && !strings.HasPrefix(r.Metric, "lease/") {
 			return false
 		}
 	default:

@@ -98,6 +98,13 @@ func TestGatedSelection(t *testing.T) {
 		// loopback-transport contract and pin the service's transparency.
 		rec("server", "loopback/splitfs-strict/fences_per_op", 1, "r"),
 		rec("server", "loopback/ext4-dax/pm_bytes", 1, "r"),
+		// The lease cells pin the zero-copy data plane: fences/op must
+		// stay equal to direct, and read_wire_bytes ~0 IS the "leased
+		// reads cross no wire" guarantee.
+		rec("server", "lease/splitfs-strict/fences_per_op", 1, "r"),
+		rec("server", "lease/splitfs-strict/read_wire_bytes", 0, "r"),
+		rec("server", "lease/ext4-dax/leased_read_bytes", 1, "r"),
+		rec("server", "loopback/splitfs-strict/write_wire_bytes", 1, "r"),
 	}
 	ungated := []Record{
 		rec("macro", "ycsb-A/pmfs/ns_per_op", 1, "r"),                 // cost-model dependent

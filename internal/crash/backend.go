@@ -38,6 +38,14 @@ func BackendKinds() []string {
 // direct calls. Exactly one level of wrapping is allowed.
 const ServedPrefix = "served:"
 
+// ServedLeasePrefix is the served wrapper with the zero-copy data plane
+// negotiated on: "served-lease:<kind>" serves <kind> through a session
+// that leases mapping segments for its data path. Backends without the
+// vfs.Mappable capability still build — every grant fails and the
+// client stays on the copy path, which is itself a property the
+// differential suite wants pinned.
+const ServedLeasePrefix = "served-lease:"
+
 // ServedBackendKinds returns the nine backends wrapped in the service
 // layer, for matrices that compare served against direct execution.
 func ServedBackendKinds() []string {
@@ -48,10 +56,21 @@ func ServedBackendKinds() []string {
 	return kinds
 }
 
+// ServedLeaseBackendKinds returns the nine backends served with leases
+// negotiated, for matrices that pin the zero-copy data plane against
+// direct execution.
+func ServedLeaseBackendKinds() []string {
+	kinds := BackendKinds()
+	for i, k := range kinds {
+		kinds[i] = ServedLeasePrefix + k
+	}
+	return kinds
+}
+
 // IsBackendKind reports whether kind names a registered backend,
-// including the served: wrapper of one.
+// including the served: / served-lease: wrapper of one.
 func IsBackendKind(kind string) bool {
-	base := strings.TrimPrefix(kind, ServedPrefix)
+	base := strings.TrimPrefix(strings.TrimPrefix(kind, ServedLeasePrefix), ServedPrefix)
 	for _, k := range BackendKinds() {
 		if k == base {
 			return true
@@ -127,8 +146,15 @@ type Backend struct {
 // every operation through an internal/server session on the
 // deterministic loopback transport.
 func NewBackend(kind string, spec BackendSpec) (*Backend, error) {
-	if base, ok := strings.CutPrefix(kind, ServedPrefix); ok {
-		if strings.HasPrefix(base, ServedPrefix) {
+	leases := false
+	base, served := strings.CutPrefix(kind, ServedLeasePrefix)
+	if served {
+		leases = true
+	} else {
+		base, served = strings.CutPrefix(kind, ServedPrefix)
+	}
+	if served {
+		if strings.HasPrefix(base, ServedPrefix) || strings.HasPrefix(base, ServedLeasePrefix) {
 			return nil, fmt.Errorf("crash: nested served backend %q", kind)
 		}
 		b, err := NewBackend(base, spec)
@@ -136,7 +162,7 @@ func NewBackend(kind string, spec BackendSpec) (*Backend, error) {
 			return nil, err
 		}
 		srv := server.New(b.FS, server.Config{})
-		client, err := server.NewLoopback(srv, "/")
+		client, err := server.NewLoopbackConfig(srv, server.ClientConfig{Root: "/", EnableLeases: leases})
 		if err != nil {
 			return nil, err
 		}

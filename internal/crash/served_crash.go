@@ -69,6 +69,12 @@ type ServedCampaign struct {
 	// every-other-dial cadence, forcing warm re-attaches and replay even
 	// before the crash (and during cold resume after it).
 	WireFaults bool
+	// Leases negotiates the zero-copy data plane on every tenant session
+	// and interleaves leased-read probes through the workload, so leases
+	// are genuinely outstanding when the daemon dies. The campaign then
+	// additionally asserts that no lease survives generation 1's
+	// teardown.
+	Leases bool
 	// SkipFence is the fence fault-injection hook for harness self-tests
 	// (see Campaign.SkipFence); it must be safe for concurrent calls.
 	SkipFence func(seq int64) bool
@@ -112,10 +118,11 @@ var errServedAborted = errors.New("crash: served campaign aborted")
 
 // servedTenant is one tenant's workload, model, and progress counter.
 type servedTenant struct {
-	root  string
-	ops   []Op
-	sys   []syscall
-	model *modelRun
+	root   string
+	ops    []Op
+	sys    []syscall
+	model  *modelRun
+	leases bool
 	// acked counts acknowledged syscalls. The driver increments it before
 	// sending the next syscall, so at any instant every syscall beyond
 	// acked+1 has provably not begun executing — the precondition of the
@@ -129,7 +136,8 @@ type servedTenant struct {
 // so workloads use root-relative names and the per-tenant model needs no
 // translation.
 func (t *servedTenant) drive(redial func() (io.ReadWriteCloser, error)) error {
-	cl, err := server.DialResumable(redial, t.root)
+	cl, err := server.DialResumableConfig(redial,
+		server.ClientConfig{Root: t.root, EnableLeases: t.leases})
 	if err != nil {
 		return fmt.Errorf("tenant %s: attach: %w", t.root, err)
 	}
@@ -141,9 +149,31 @@ func (t *servedTenant) drive(redial func() (io.ReadWriteCloser, error)) error {
 				t.root, t.sys[i].opIdx, t.sys[i].kind, t.sys[i].path, err)
 		}
 		t.acked.Add(1)
+		if t.leases {
+			t.probe(r, i)
+		}
 	}
 	cl.Close() // best-effort goodbye; the daemon may die mid-detach
 	return nil
+}
+
+// probe issues one small positional read against an open handle so that
+// a lease is genuinely outstanding whenever the daemon dies (the
+// generated workloads have no read syscalls — without probes the lease
+// plane would sit empty across the kill). Content and errors are
+// ignored: the crash oracles own correctness; the probe's only job is
+// to keep leases granted and in flight.
+func (t *servedTenant) probe(r *runner, i int) {
+	if len(r.handles) == 0 {
+		return
+	}
+	names := make([]string, 0, len(r.handles))
+	for n := range r.handles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf [64]byte
+	_, _ = r.handles[names[i%len(names)]].ReadAt(buf[:], 0)
 }
 
 // servedDialer hands tenants transports into the current server
@@ -417,7 +447,7 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		}
 		sys := compile(workloads[i])
 		tenants[i] = &servedTenant{root: root, ops: workloads[i], sys: sys,
-			model: buildModel(c.Mode, sys)}
+			model: buildModel(c.Mode, sys), leases: c.Leases}
 	}
 	mark, err := fs.OpenFile("/served-setup", vfs.O_CREATE|vfs.O_RDWR, 0o644)
 	if err != nil {
@@ -500,6 +530,10 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		if err := tenantsErr(tenants); err != nil {
 			return nil, err
 		}
+		if n := srv.ActiveLeases(); n != 0 {
+			res.Violation = fmt.Sprintf("lease plane: %d leases survived server Close", n)
+			return res, nil
+		}
 		res.Violation = finalCheck(tenants, fs)
 		return res, nil
 	}
@@ -516,6 +550,18 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		env.dev.SetTracing(false)
 	}
 	res.Gen1 = srv.Stats()
+	if n := srv.ActiveLeases(); n != 0 {
+		// Teardown revokes every session's leases; one outliving the
+		// generation would hand a client a mapping onto a device image
+		// that recovery is about to rewrite.
+		res.Violation = fmt.Sprintf("lease plane: %d leases survived generation-1 teardown", n)
+		abortEarly := func() {
+			dial.completeRestart(nil, errServedAborted)
+			<-finished
+		}
+		abortEarly()
+		return res, nil
+	}
 	for _, t := range tenants {
 		res.AckedSys = append(res.AckedSys, int(t.acked.Load()))
 	}

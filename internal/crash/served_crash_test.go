@@ -145,6 +145,67 @@ func TestServedCrashReconnects(t *testing.T) {
 	t.Logf("event %d: acked %v, gen1 %+v, gen2 %+v", event, res.AckedSys, res.Gen1, res.Gen2)
 }
 
+// TestServedCrashWithLeases runs the daemon-death sweep with the
+// zero-copy data plane negotiated on every tenant session: leased-read
+// probes keep leases genuinely outstanding across the kill, generation
+// 1's teardown must revoke all of them (oracle inside RunServed), and
+// every crash/replay/final-state oracle must still hold — the lease
+// plane may not weaken any serving guarantee.
+func TestServedCrashWithLeases(t *testing.T) {
+	for _, mode := range []splitfs.Mode{splitfs.POSIX, splitfs.Strict} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res, err := ServedExplore(ServedExploreConfig{
+				Mode: mode, Tenants: 2, OpsPerTenant: 10, Seed: 29,
+				Sample: 6, Leases: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("event %d: %s", v.Event, v.Msg)
+			}
+			if res.Tested-res.NotFired == 0 {
+				t.Fatal("no tested event fired the crash")
+			}
+		})
+	}
+}
+
+// TestServedLeaseGrantsAcrossGenerations pins the lease mechanics of
+// one mid-window daemon death: generation 1 actually granted leases
+// (the probes are not vacuous), none survived its teardown, and the
+// recovered generation grants fresh ones.
+func TestServedLeaseGrantsAcrossGenerations(t *testing.T) {
+	record, err := RunServed(ServedCampaign{Mode: splitfs.Strict, Tenants: 2,
+		OpsPerTenant: 12, Seed: 31, Leases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if record.Violation != "" {
+		t.Fatalf("recording run violated: %s", record.Violation)
+	}
+	if record.Gen1.LeaseGrants == 0 {
+		t.Fatal("lease campaign granted no leases: the probes are vacuous")
+	}
+	event := (record.BaselineEvents + record.TotalEvents) / 2
+	res, err := RunServed(ServedCampaign{Mode: splitfs.Strict, Tenants: 2,
+		OpsPerTenant: 12, Seed: 31, Leases: true, CrashAtEvent: event})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fired {
+		t.Fatalf("mid-window event %d did not fire", event)
+	}
+	if res.Violation != "" {
+		t.Fatalf("violation at event %d: %s", event, res.Violation)
+	}
+	if res.Gen1.LeaseGrants == 0 {
+		t.Error("generation 1 granted no leases before the kill")
+	}
+	t.Logf("event %d: gen1 grants=%d revokes=%d, gen2 grants=%d revokes=%d",
+		event, res.Gen1.LeaseGrants, res.Gen1.LeaseRevokes,
+		res.Gen2.LeaseGrants, res.Gen2.LeaseRevokes)
+}
+
 // TestServedOracleDetectsViolations proves the served oracles are not
 // vacuous: with every workload fence skipped (the pmem fault-injection
 // hook), strict-mode daemon deaths must surface guarantee breaches.

@@ -24,7 +24,10 @@ type ServedExploreConfig struct {
 	TenantOps    [][]Op
 	Seed         uint64
 	WireFaults   bool
-	DevBytes     int64
+	// Leases negotiates the zero-copy data plane on every tenant session
+	// of every run (see ServedCampaign.Leases).
+	Leases   bool
+	DevBytes int64
 	// Sample bounds how many crash events are tested (0 = all),
 	// deterministic in Seed.
 	Sample int
@@ -56,7 +59,7 @@ func ServedExplore(cfg ServedExploreConfig) (*ServedExploreResult, error) {
 		return ServedCampaign{Mode: cfg.Mode, Tenants: cfg.Tenants,
 			OpsPerTenant: cfg.OpsPerTenant, TenantOps: cfg.TenantOps,
 			Seed: cfg.Seed, CrashAtEvent: event, WireFaults: cfg.WireFaults,
-			SkipFence: cfg.SkipFence, DevBytes: cfg.DevBytes}
+			Leases: cfg.Leases, SkipFence: cfg.SkipFence, DevBytes: cfg.DevBytes}
 	}
 
 	// Recording run: no crash; validates the workloads' final states and

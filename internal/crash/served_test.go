@@ -15,6 +15,7 @@ import (
 // plain differential suite already pins against the same reference.
 func TestServedDifferentialEquivalence(t *testing.T) {
 	kinds := append([]string{"ext4-dax"}, ServedBackendKinds()...)
+	kinds = append(kinds, ServedLeaseBackendKinds()...)
 	for _, tc := range []struct {
 		name string
 		ops  []Op
@@ -59,6 +60,18 @@ func TestServedBackendRegistry(t *testing.T) {
 	if got := len(ServedBackendKinds()); got != len(BackendKinds()) {
 		t.Fatalf("ServedBackendKinds has %d kinds", got)
 	}
+	if !IsBackendKind("served-lease:splitfs-strict") {
+		t.Fatal("served-lease:splitfs-strict should be a valid kind")
+	}
+	if IsBackendKind("served-lease:nope") {
+		t.Fatal("served-lease wrapper of an unknown kind must be invalid")
+	}
+	if _, err := NewBackend("served-lease:served:ext4-dax", BackendSpec{}); err == nil {
+		t.Fatal("nested served-lease wrapper must be rejected")
+	}
+	if got := len(ServedLeaseBackendKinds()); got != len(BackendKinds()) {
+		t.Fatalf("ServedLeaseBackendKinds has %d kinds", got)
+	}
 }
 
 // TestServedEventStreamMatchesDirect verifies the loopback determinism
@@ -88,5 +101,13 @@ func TestServedEventStreamMatchesDirect(t *testing.T) {
 	if dFences != sFences || dBytes != sBytes {
 		t.Fatalf("served run diverged from direct: fences %d vs %d, bytes %d vs %d",
 			dFences, sFences, dBytes, sBytes)
+	}
+	// The zero-copy plane must not perturb the stream either: a leased
+	// write stores through the same backend file a direct caller uses,
+	// and lease grants read metadata only.
+	lFences, lBytes := run("served-lease:splitfs-strict")
+	if dFences != lFences || dBytes != lBytes {
+		t.Fatalf("served-lease run diverged from direct: fences %d vs %d, bytes %d vs %d",
+			dFences, lFences, dBytes, lBytes)
 	}
 }

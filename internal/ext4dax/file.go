@@ -309,6 +309,10 @@ func (f *File) Truncate(size int64) error {
 // fs.mu and, for file inodes, in.mu.
 func (fs *FS) truncateLocked(in *inode, size int64) {
 	if size < in.size {
+		// Remap event: the bump must be visible before any freed block
+		// can be recycled, so lease holders re-validating after their
+		// loads are guaranteed to observe it (vfs.Mappable contract).
+		in.mapEpoch.Add(1)
 		fromLogical := (size + sim.BlockSize - 1) / sim.BlockSize
 		for _, e := range truncateExtents(in, fromLogical) {
 			fs.deferFree(fs.bBmp, e)

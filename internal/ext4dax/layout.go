@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/alloc"
 	"splitfs/internal/sim"
@@ -150,6 +151,13 @@ type inode struct {
 	// until a future fsck (real ext4 keeps an on-disk orphan list).
 	openCnt int
 	orphan  bool
+	// mapEpoch counts remapping events — truncate, extent swap, hole
+	// punch — that can retire this inode's physical blocks. Bumped under
+	// in.mu *before* the freed blocks become reusable, read lock-free by
+	// lease holders validating seqlock-style (see vfs.Mappable). DRAM
+	// only: epochs restart at zero after a crash, which is fine because
+	// no lease survives a server generation.
+	mapEpoch atomic.Uint64
 	// dir state, populated lazily for directories
 	entries map[string]*dirEntry
 	tailOff int64 // next free byte inside the directory file

@@ -96,6 +96,7 @@ func (f *File) PunchHole(off, n int64) error {
 		return vfs.ErrInval
 	}
 	f.in.mu.Lock()
+	f.in.mapEpoch.Add(1) // remap event: blocks become reusable below
 	for _, e := range extractExtents(f.in, off/sim.BlockSize, n/sim.BlockSize) {
 		fs.deferFree(fs.bBmp, e)
 		f.in.blocks -= e.Len
@@ -137,6 +138,13 @@ func (fs *FS) swapExtentsLocked(src, dst *inode, srcOff, dstOff, n int64, writeB
 	if !rangeMapped(fs, dst, dstBlk, cnt) {
 		return fmt.Errorf("dst unmapped at blk %d cnt %d: %w", dstBlk, cnt, vfs.ErrInval)
 	}
+	// Remap event for both inodes: each now addresses different physical
+	// blocks at the swapped range. (The data itself does not move — an
+	// ext4dax.Mapping stays valid — but a lease's Extent.DevOff table is
+	// stale the moment ownership changes, because the counterpart file
+	// may free or overwrite its newly acquired blocks.)
+	src.mapEpoch.Add(1)
+	dst.mapEpoch.Add(1)
 	srcExts := extractExtents(src, srcBlk, cnt)
 	dstExts := extractExtents(dst, dstBlk, cnt)
 	placeExtents(dst, dstBlk, srcExts)

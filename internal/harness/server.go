@@ -185,7 +185,11 @@ func runServerStream(fs vfs.FileSystem, nops int) (int64, error) {
 }
 
 // ServerStreamCell runs the deterministic stream on one backend kind
-// (direct or served:) and returns the macro-style counter metrics.
+// (direct, served:, or served-lease:) and returns the macro-style
+// counter metrics. Served cells additionally report the client's
+// data-plane byte routing: on a served-lease: cell, leased_read_bytes
+// is the zero-copy volume and read_wire_bytes must sit at ~0 — the
+// copy-path bytes a lease failed to absorb.
 func ServerStreamCell(kind string) (*MacroCell, error) {
 	b, err := crash.NewBackend(kind, crash.BackendSpec{DevBytes: 64 << 20,
 		StagingFiles: 8, StagingFileBytes: 1 << 20, OpLogBytes: 2 << 20})
@@ -204,6 +208,16 @@ func ServerStreamCell(kind string) (*MacroCell, error) {
 		Metrics: cellMetrics(ops, before, after)}
 	cell.Metrics = append(cell.Metrics,
 		Metric{Name: "wall_ns_per_op", Value: float64(wallNs) / float64(ops), Unit: "ns/op-wall"})
+	if cl, ok := b.FS.(*server.Client); ok {
+		cs := cl.Stats()
+		cell.Metrics = append(cell.Metrics,
+			Metric{Name: "lease_grants", Value: float64(cs.LeaseGrants), Unit: "count"},
+			Metric{Name: "leased_read_bytes", Value: float64(cs.LeasedReadBytes), Unit: "bytes"},
+			Metric{Name: "leased_write_bytes", Value: float64(cs.LeasedWriteBytes), Unit: "bytes"},
+			Metric{Name: "read_wire_bytes", Value: float64(cs.WireReadBytes), Unit: "bytes"},
+			Metric{Name: "write_wire_bytes", Value: float64(cs.WireWriteBytes), Unit: "bytes"},
+		)
+	}
 	return cell, nil
 }
 
@@ -229,7 +243,7 @@ func RunServedSessions(kind string, n, opsPerSession int) (ServedSessionsResult,
 	}
 	srv := server.New(b.FS, server.Config{})
 	defer srv.Close()
-	root, err := server.NewLoopback(srv, "/")
+	root, err := server.NewLoopbackConfig(srv, server.ClientConfig{Root: "/"})
 	if err != nil {
 		return ServedSessionsResult{}, err
 	}
@@ -250,7 +264,7 @@ func RunServedSessions(kind string, n, opsPerSession int) (ServedSessionsResult,
 			defer wg.Done()
 			cs, ss := net.Pipe()
 			go srv.ServeConn(ss)
-			c, err := server.Dial(cs, fmt.Sprintf("/s%d", i))
+			c, err := server.DialConfig(cs, server.ClientConfig{Root: fmt.Sprintf("/s%d", i)})
 			if err != nil {
 				errs <- err
 				return
@@ -315,10 +329,14 @@ func serverExp() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		leased, err := ServerStreamCell(crash.ServedLeasePrefix + kind)
+		if err != nil {
+			return nil, err
+		}
 		for _, c := range []struct {
 			label string
 			cell  *MacroCell
-		}{{"direct", direct}, {"loopback", served}} {
+		}{{"direct", direct}, {"loopback", served}, {"lease", leased}} {
 			m := map[string]float64{}
 			for _, mm := range c.cell.Metrics {
 				m[mm.Name] = mm.Value

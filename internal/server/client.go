@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"splitfs/internal/vfs"
 )
@@ -19,20 +20,111 @@ type transport interface {
 	close() error
 }
 
+// ClientConfig configures a session. The zero value matches the
+// original positional constructors: whole-tree root, default chunk
+// size, no leases.
+type ClientConfig struct {
+	// Root confines the session to a server subtree ("" or "/" = the
+	// whole tree).
+	Root string
+
+	// ChunkBytes bounds one data frame on the copy path (default 256
+	// KiB, clamped to the wire payload limit).
+	ChunkBytes int
+
+	// EnableLeases requests the zero-copy data plane in the attach
+	// handshake. The session uses it only if the server agrees (feature
+	// negotiation); on a resumable session leases are read-only, since
+	// leased writes bypass the replay log.
+	EnableLeases bool
+}
+
+func (cfg *ClientConfig) fill() {
+	if cfg.Root == "" {
+		cfg.Root = "/"
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = chunkBytes
+	}
+	if cfg.ChunkBytes > maxPayload-64 {
+		cfg.ChunkBytes = maxPayload - 64
+	}
+}
+
 // Client is a connected session implementing vfs.FileSystem, so every
 // workload in the repository runs unmodified through the service.
 type Client struct {
-	t      transport
-	fsName string
+	t           transport
+	fsName      string
+	features    uint32 // agreed set from the attach handshake
+	chunk       int
+	leaseWrites bool // leased writes allowed (non-resumable sessions)
+	stats       clientStats
 }
+
+// clientStats counts the client-side data plane.
+type clientStats struct {
+	leaseGrants      atomic.Int64
+	leaseRevocations atomic.Int64 // Trevoke pushes observed
+	leaseFallbacks   atomic.Int64 // leased attempts retired to the copy path
+	leasedReadBytes  atomic.Int64
+	leasedWriteBytes atomic.Int64
+	wireReadBytes    atomic.Int64 // data payload bytes over Rread/Rpread
+	wireWriteBytes   atomic.Int64 // data payload bytes over Twrite/Tpwrite
+}
+
+// ClientStats is a snapshot of the client's data-plane counters: how
+// many bytes moved through leased mappings (zero-copy) versus through
+// the chunked wire codec, and how the lease protocol behaved.
+type ClientStats struct {
+	LeaseGrants      int64
+	LeaseRevocations int64
+	LeaseFallbacks   int64
+	LeasedReadBytes  int64
+	LeasedWriteBytes int64
+	WireReadBytes    int64
+	WireWriteBytes   int64
+}
+
+// Stats snapshots the data-plane counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		LeaseGrants:      c.stats.leaseGrants.Load(),
+		LeaseRevocations: c.stats.leaseRevocations.Load(),
+		LeaseFallbacks:   c.stats.leaseFallbacks.Load(),
+		LeasedReadBytes:  c.stats.leasedReadBytes.Load(),
+		LeasedWriteBytes: c.stats.leasedWriteBytes.Load(),
+		WireReadBytes:    c.stats.wireReadBytes.Load(),
+		WireWriteBytes:   c.stats.wireWriteBytes.Load(),
+	}
+}
+
+// leasesOn reports whether the negotiated session may use leases.
+func (c *Client) leasesOn() bool { return c.features&featLeases != 0 }
 
 // File is a served file handle. All state (offset included) lives
 // server-side; File is a thin proxy, so semantics — O_APPEND writes,
 // shared-offset dup behavior, EOF — are exactly the backend's own.
+// When the session negotiated leases, the proxy additionally holds the
+// handle's lease state (see lease.go and leasedReadAt below).
 type File struct {
 	c      *Client
 	handle uint64
 	path   string
+	flag   int // open flags, for client-side readable/writable gating
+
+	leaseMu     sync.Mutex
+	lease       *clientLease
+	leaseBroken bool // grant refused: this handle stays on the copy path
+}
+
+// clientLease is the client's view of a granted segment: the extent
+// table and epoch it will validate every zero-copy operation against.
+type clientLease struct {
+	seg     *leaseSegment
+	epoch   uint64
+	size    int64
+	extents []vfs.Extent
 }
 
 // ShortIOError reports a chunked read or write whose transport failed
@@ -99,7 +191,7 @@ func (c *Client) OpenFile(path string, flag int, perm uint32) (vfs.File, error) 
 	if d.err != nil {
 		return nil, d.err
 	}
-	return &File{c: c, handle: h, path: path}, nil
+	return &File{c: c, handle: h, path: path, flag: flag}, nil
 }
 
 func (c *Client) pathOp(typ, want uint8, path string) error {
@@ -200,13 +292,20 @@ func (f *File) handleOp(typ, want uint8) error {
 	return err
 }
 
-// Read reads at the server-side handle offset.
+// Read reads at the server-side handle offset. The offset lives on the
+// server, so this always takes the wire; leased reads are positional.
 func (f *File) Read(p []byte) (int, error) { return f.readLoop(tRead, rRead, p, -1) }
 
-// ReadAt is positional (pread).
+// ReadAt is positional (pread). With a negotiated lease it is satisfied
+// by loads straight through the mapped extents — zero wire data bytes —
+// falling back to the copy path when the mapping is stale, revoked, or
+// does not cover the range.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInval
+	}
+	if n, ok := f.leasedReadAt(p, off); ok {
+		return n, nil
 	}
 	return f.readLoop(tPread, rPread, p, off)
 }
@@ -218,8 +317,8 @@ func (f *File) readLoop(typ, want uint8, p []byte, off int64) (int, error) {
 	total := 0
 	for total < len(p) {
 		n := len(p) - total
-		if n > chunkBytes {
-			n = chunkBytes
+		if n > f.c.chunk {
+			n = f.c.chunk
 		}
 		var e enc
 		e.u64(f.handle)
@@ -244,6 +343,7 @@ func (f *File) readLoop(typ, want uint8, p []byte, off int64) (int, error) {
 		}
 		copy(p[total:], data)
 		total += len(data)
+		f.c.stats.wireReadBytes.Add(int64(len(data)))
 		if len(data) < n {
 			break // the backend clamped at EOF
 		}
@@ -252,12 +352,23 @@ func (f *File) readLoop(typ, want uint8, p []byte, off int64) (int, error) {
 }
 
 // Write writes at the server-side handle offset (EOF under O_APPEND).
-func (f *File) Write(p []byte) (int, error) { return f.writeLoop(tWrite, rWrite, p, -1) }
+// With a writable lease the bytes are stored through the mapped file
+// directly (the paper's staged append through the process mapping);
+// otherwise they take the chunked wire codec.
+func (f *File) Write(p []byte) (int, error) {
+	if n, err, ok := f.leasedWrite(p, -1); ok {
+		return n, err
+	}
+	return f.writeLoop(tWrite, rWrite, p, -1)
+}
 
 // WriteAt is positional (pwrite).
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, vfs.ErrInval
+	}
+	if n, err, ok := f.leasedWrite(p, off); ok {
+		return n, err
 	}
 	return f.writeLoop(tPwrite, rPwrite, p, off)
 }
@@ -266,8 +377,8 @@ func (f *File) writeLoop(typ, want uint8, p []byte, off int64) (int, error) {
 	total := 0
 	for {
 		n := len(p) - total
-		if n > chunkBytes {
-			n = chunkBytes
+		if n > f.c.chunk {
+			n = f.c.chunk
 		}
 		var e enc
 		e.u64(f.handle)
@@ -288,10 +399,195 @@ func (f *File) writeLoop(typ, want uint8, p []byte, off int64) (int, error) {
 			return total, d.err
 		}
 		total += got
+		f.c.stats.wireWriteBytes.Add(int64(got))
 		if got < n || total >= len(p) {
 			return total, nil
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// Client side of the zero-copy data plane. The File proxy holds at most
+// one lease; it is granted lazily on the first eligible data operation
+// and dropped on any validation failure, after which one re-grant is
+// attempted before the operation retires to the copy path.
+
+// leasedReadAt tries to satisfy a positional read through the handle's
+// lease. ok=false means the caller must take the wire.
+func (f *File) leasedReadAt(p []byte, off int64) (int, bool) {
+	if !f.c.leasesOn() || !vfs.Readable(f.flag) || len(p) == 0 {
+		return 0, false
+	}
+	f.leaseMu.Lock()
+	defer f.leaseMu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		L := f.lease
+		if L == nil {
+			if L = f.grantLease(); L == nil {
+				return 0, false
+			}
+			f.lease = L
+		}
+		if n, ok := f.tryLeasedRead(L, p, off); ok {
+			f.c.stats.leasedReadBytes.Add(int64(n))
+			return n, true
+		}
+		// Stale epoch, revoked, or the mapping does not cover the range:
+		// drop the lease and re-grant once against the current mapping.
+		f.lease = nil
+	}
+	f.c.stats.leaseFallbacks.Add(1)
+	return 0, false
+}
+
+// tryLeasedRead is the seqlock read: validate, load through the
+// extents, validate again. If the epoch moved during the loads a
+// remapping may have recycled the device bytes mid-read, so the data
+// is discarded and the caller falls back.
+func (f *File) tryLeasedRead(L *clientLease, p []byte, off int64) (int, bool) {
+	end := off + int64(len(p))
+	if end > L.size {
+		// EOF or grown-past-grant: the wire path owns short reads.
+		return 0, false
+	}
+	seg := L.seg
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+	if seg.revoked.Load() || seg.m.MapEpoch() != L.epoch {
+		return 0, false
+	}
+	cur := off
+	for _, x := range L.extents {
+		if cur >= end {
+			break
+		}
+		if x.FileOff > cur {
+			return 0, false // hole in the mapping
+		}
+		if xe := x.FileOff + x.Length; xe > cur {
+			span := end
+			if xe < span {
+				span = xe
+			}
+			seg.m.LoadMapped(p[cur-off:span-off], x.DevOff+(cur-x.FileOff))
+			cur = span
+		}
+	}
+	if cur < end {
+		return 0, false
+	}
+	if seg.revoked.Load() || seg.m.MapEpoch() != L.epoch {
+		return 0, false // remapped mid-read: bytes may be stale, discard
+	}
+	return len(p), true
+}
+
+// leasedWrite tries to store p through the leased mapping. off < 0 is
+// the handle-offset variant (O_APPEND included — the leased file IS the
+// server-side handle, so offset state is shared either way). ok=false
+// means the caller must take the wire. Disabled on resumable sessions:
+// a leased write bypasses the replay log.
+func (f *File) leasedWrite(p []byte, off int64) (int, error, bool) {
+	if !f.c.leaseWrites || !f.c.leasesOn() || !vfs.Writable(f.flag) || len(p) == 0 {
+		return 0, nil, false
+	}
+	f.leaseMu.Lock()
+	defer f.leaseMu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		L := f.lease
+		if L == nil {
+			if L = f.grantLease(); L == nil {
+				return 0, nil, false
+			}
+			f.lease = L
+		}
+		seg := L.seg
+		seg.mu.RLock()
+		if seg.revoked.Load() {
+			// Revoked since the grant: drop it and re-grant once against
+			// the current mapping (writes don't validate the epoch — they
+			// go through the backend file, which owns its own remapping).
+			seg.mu.RUnlock()
+			f.lease = nil
+			continue
+		}
+		var n int
+		var err error
+		if off < 0 {
+			n, err = seg.file.Write(p)
+		} else {
+			n, err = seg.file.WriteAt(p, off)
+		}
+		seg.mu.RUnlock()
+		f.c.stats.leasedWriteBytes.Add(int64(n))
+		return n, err, true
+	}
+	f.c.stats.leaseFallbacks.Add(1)
+	return 0, nil, false
+}
+
+// grantLease round-trips Tlease for this handle and resolves the
+// granted segment. Any refusal — non-mappable backend, directory,
+// transport trouble — pins the handle to the copy path for its
+// lifetime; a fresh open starts fresh. Caller holds f.leaseMu.
+func (f *File) grantLease() *clientLease {
+	if f.leaseBroken {
+		return nil
+	}
+	var e enc
+	e.u64(f.handle)
+	rp, err := f.c.call(tLease, rLease, &e)
+	if err != nil {
+		f.leaseBroken = true
+		return nil
+	}
+	d := dec{b: rp}
+	segID := d.u64()
+	epoch := d.u64()
+	size := d.i64()
+	n := int(d.u32())
+	exts := make([]vfs.Extent, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		exts = append(exts, vfs.Extent{FileOff: d.i64(), DevOff: d.i64(), Length: d.i64()})
+	}
+	if d.err != nil {
+		f.leaseBroken = true
+		return nil
+	}
+	seg := lookupSegment(segID)
+	if seg == nil {
+		// An out-of-process peer cannot map the segment namespace.
+		f.leaseBroken = true
+		return nil
+	}
+	f.c.stats.leaseGrants.Add(1)
+	return &clientLease{seg: seg, epoch: epoch, size: size, extents: exts}
+}
+
+// dropLease forgets the client-side lease state (Close: the server
+// revokes the segment itself on Tclose).
+func (f *File) dropLease() {
+	f.leaseMu.Lock()
+	f.lease = nil
+	f.leaseMu.Unlock()
+}
+
+// handleRevoke is the Trevoke push handler: count it and acknowledge
+// asynchronously. The shared revoked flag has already invalidated the
+// segment, so per-File state is cleaned up lazily on the next
+// validation failure.
+func (c *Client) handleRevoke(payload []byte) {
+	d := dec{b: payload}
+	segID := d.u64()
+	if d.err != nil {
+		return
+	}
+	c.stats.leaseRevocations.Add(1)
+	go func() {
+		var e enc
+		e.u64(segID)
+		_, _ = c.call(tRevokeAck, rRevokeAck, &e)
+	}()
 }
 
 // Seek implements vfs.File (the offset lives server-side).
@@ -321,8 +617,12 @@ func (f *File) Truncate(size int64) error {
 // Sync implements vfs.File (fsync through the service).
 func (f *File) Sync() error { return f.handleOp(tFsync, rFsync) }
 
-// Close implements vfs.File.
-func (f *File) Close() error { return f.handleOp(tClose, rClose) }
+// Close implements vfs.File. The server revokes any lease on the
+// handle as part of Tclose; the client just forgets its view.
+func (f *File) Close() error {
+	f.dropLease()
+	return f.handleOp(tClose, rClose)
+}
 
 // Stat implements vfs.File (fstat on the server-side handle, so it
 // works on orphaned — unlinked-while-open — files too).
@@ -348,6 +648,11 @@ type streamTransport struct {
 
 	writeMu sync.Mutex // serializes request frames
 
+	// onPush handles server-initiated frames (Trevoke, request id 0).
+	// Set before the demux loop starts; never called concurrently with
+	// itself (the demux loop is the only caller).
+	onPush func(payload []byte)
+
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan frameResp
@@ -359,17 +664,33 @@ type frameResp struct {
 	payload []byte
 }
 
-// Dial attaches a session over a connected stream. root confines the
-// session ("" or "/" = the backend's whole tree).
+// Dial attaches a session over a connected stream, whole defaults.
+//
+// Deprecated: use DialConfig, which also negotiates protocol features.
 func Dial(rwc io.ReadWriteCloser, root string) (*Client, error) {
+	return DialConfig(rwc, ClientConfig{Root: root})
+}
+
+// DialConfig attaches a session over a connected stream. The attach
+// handshake offers the configured feature set; the server echoes the
+// agreed subset (an old server echoes nothing, which reads as zero —
+// clean downgrade in both directions).
+func DialConfig(rwc io.ReadWriteCloser, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
 	t := &streamTransport{
 		rwc:     rwc,
 		br:      bufio.NewReaderSize(rwc, 64<<10),
 		pending: make(map[uint32]chan frameResp),
 	}
 	// Attach synchronously before the demux loop starts.
+	var req uint32
+	if cfg.EnableLeases {
+		req = featLeases
+	}
 	var e enc
-	e.str(root)
+	e.str(cfg.Root)
+	e.u8(0) // not resumable
+	e.u32(req)
 	if e.err != nil {
 		rwc.Close()
 		return nil, e.err
@@ -394,30 +715,51 @@ func Dial(rwc io.ReadWriteCloser, root string) (*Client, error) {
 	d := dec{b: rp}
 	name := d.str()
 	d.u64() // session id (diagnostic)
+	d.u64() // resume token (plain sessions never present it)
+	var agreed uint32
+	if d.err == nil && len(d.b) >= 4 {
+		agreed = d.u32()
+	}
 	if d.err != nil {
 		rwc.Close()
 		return nil, d.err
 	}
+	c := &Client{t: t, fsName: name, features: agreed & req, chunk: cfg.ChunkBytes, leaseWrites: true}
+	t.onPush = c.handleRevoke
 	go t.readLoop()
-	return &Client{t: t, fsName: name}, nil
+	return c, nil
 }
 
 // DialNet connects to a network address (cmd tools use unix sockets).
+//
+// Deprecated: use DialNetConfig.
 func DialNet(network, addr, root string) (*Client, error) {
+	return DialNetConfig(network, addr, ClientConfig{Root: root})
+}
+
+// DialNetConfig connects to a network address and attaches with cfg.
+func DialNetConfig(network, addr string, cfg ClientConfig) (*Client, error) {
 	c, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
-	return Dial(c, root)
+	return DialConfig(c, cfg)
 }
 
-// readLoop demultiplexes replies to their waiting callers.
+// readLoop demultiplexes replies to their waiting callers. Frames with
+// request id 0 are server-initiated pushes (Trevoke), routed to onPush.
 func (t *streamTransport) readLoop() {
 	for {
 		typ, reqID, payload, err := readFrame(t.br)
 		if err != nil {
 			t.fail(err)
 			return
+		}
+		if typ == tRevoke {
+			if t.onPush != nil {
+				t.onPush(payload)
+			}
+			continue
 		}
 		t.mu.Lock()
 		ch, ok := t.pending[reqID]
@@ -515,12 +857,28 @@ type loopbackTransport struct {
 }
 
 // NewLoopback attaches a deterministic in-process session to srv.
+//
+// Deprecated: use NewLoopbackConfig, which also negotiates features.
 func NewLoopback(srv *Server, root string) (*Client, error) {
-	s, err := srv.attach(root, nil, false)
+	return NewLoopbackConfig(srv, ClientConfig{Root: root})
+}
+
+// NewLoopbackConfig attaches a deterministic in-process session with
+// cfg. Negotiation runs the same intersection the wire handshake does.
+func NewLoopbackConfig(srv *Server, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	var req uint32
+	if cfg.EnableLeases {
+		req = featLeases
+	}
+	s, err := srv.attach(cfg.Root, nil, false, req)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{t: &loopbackTransport{s: s}, fsName: srv.fs.Name()}, nil
+	return &Client{
+		t: &loopbackTransport{s: s}, fsName: srv.fs.Name(),
+		features: s.features, chunk: cfg.ChunkBytes, leaseWrites: true,
+	}, nil
 }
 
 func (t *loopbackTransport) call(typ uint8, payload []byte) (uint8, []byte, error) {

@@ -35,15 +35,33 @@ const resumeMaxAttempts = 8
 // name), and writes are positional — handle-offset appends degrade to
 // at-least-once across a server restart because the server-side offset
 // cannot be reconstructed exactly.
+// Deprecated: use DialResumableConfig, which also negotiates features.
 func DialResumable(redial func() (io.ReadWriteCloser, error), root string) (*Client, error) {
-	t := &resumeState{redial: redial, root: root, handles: make(map[uint64]*handleMeta)}
+	return DialResumableConfig(redial, ClientConfig{Root: root})
+}
+
+// DialResumableConfig attaches a crash-tolerant session with cfg (see
+// DialResumable for the resume guarantee). Leases on a resumable
+// session are read-only: a leased write would bypass the replay log,
+// so writes always take the logged wire path. The feature set is the
+// one agreed at the first attach; if a restarted server stops offering
+// leases, grants fail and handles degrade to the copy path.
+func DialResumableConfig(redial func() (io.ReadWriteCloser, error), cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	var req uint32
+	if cfg.EnableLeases {
+		req = featLeases
+	}
+	t := &resumeState{redial: redial, root: cfg.Root, req: req, handles: make(map[uint64]*handleMeta)}
 	t.mu.Lock()
 	err := t.resume()
 	t.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return &Client{t: t, fsName: t.fsName}, nil
+	c := &Client{t: t, fsName: t.fsName, features: t.feats & req, chunk: cfg.ChunkBytes}
+	t.onPush = c.handleRevoke
+	return c, nil
 }
 
 // resumeState is the resumable transport: a synchronous frame exchange
@@ -52,6 +70,12 @@ func DialResumable(redial func() (io.ReadWriteCloser, error), root string) (*Cli
 type resumeState struct {
 	redial func() (io.ReadWriteCloser, error)
 	root   string
+	req    uint32 // feature set offered at attach
+	feats  uint32 // feature set agreed at the first attach
+
+	// onPush handles server-initiated Trevoke frames surfacing in the
+	// synchronous read loop. Called with t.mu held.
+	onPush func(payload []byte)
 
 	mu          sync.Mutex // serializes calls: one outstanding request
 	rwc         io.ReadWriteCloser
@@ -102,7 +126,10 @@ type handleMeta struct {
 // (Tread and Tseek move the handle offset, so they are not pure.)
 func pureOp(typ uint8) bool {
 	switch typ {
-	case tStat, tFstat, tReadDir, tPread:
+	case tStat, tFstat, tReadDir, tPread, tLease, tRevokeAck:
+		// tLease grants nothing a replay must rebuild: leases die with
+		// their session, and the client re-grants on demand. Logging it
+		// would re-grant stale mappings during replay.
 		return true
 	}
 	return false
@@ -193,6 +220,14 @@ func (t *resumeState) roundTrip(typ uint8, seq uint32, payload []byte) (uint8, [
 		if err != nil {
 			t.dropConn()
 			return 0, nil, fmt.Errorf("%w: %w", errConnLost, err)
+		}
+		if rtyp == tRevoke {
+			// Server-initiated push surfacing mid-exchange; the shared
+			// revoked flag already invalidated the segment.
+			if t.onPush != nil {
+				t.onPush(rp)
+			}
+			continue
 		}
 		if rid != seq {
 			continue
@@ -398,6 +433,7 @@ func (t *resumeState) handshake(rwc io.ReadWriteCloser, br *bufio.Reader, warm b
 	} else {
 		e.str(t.root)
 		e.u8(1) // resumable
+		e.u32(t.req)
 	}
 	if e.err != nil {
 		rwc.Close()
@@ -425,6 +461,14 @@ func (t *resumeState) handshake(rwc io.ReadWriteCloser, br *bufio.Reader, warm b
 	if !warm {
 		d.u64() // session id (diagnostic)
 		t.token = d.u64()
+	}
+	if d.err == nil && len(d.b) >= 4 {
+		// Trailing agreed-feature word; an old server sends none, which
+		// reads as zero — clean downgrade. Only the first attach's set
+		// governs the Client (later resumes never widen it).
+		if t.feats == 0 {
+			t.feats = d.u32()
+		}
 	}
 	if d.err != nil {
 		rwc.Close()

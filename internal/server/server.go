@@ -26,6 +26,12 @@ type Config struct {
 	// generation cannot collide with a fresh session's token.
 	TokenSalt uint64
 
+	// DisableLeases removes featLeases from the server's advertised
+	// feature set: every attach negotiates down to the chunked copy
+	// path, as against a pre-lease server. Used by the downgrade tests
+	// and available as an operational kill switch.
+	DisableLeases bool
+
 	// FailReplies, when set, is consulted before every reply frame is
 	// written; returning true makes the server close the connection
 	// instead of replying — the executed-but-unacknowledged window a real
@@ -51,6 +57,9 @@ type wireStats struct {
 	replayCacheHits  atomic.Int64
 	healedReplays    atomic.Int64
 	droppedReplies   atomic.Int64
+	leaseGrants      atomic.Int64
+	leaseRevokes     atomic.Int64
+	revokeAcks       atomic.Int64
 }
 
 // WireStats is a snapshot of the server's transport and replay counters:
@@ -68,6 +77,9 @@ type WireStats struct {
 	ReplayCacheHits  int64
 	HealedReplays    int64
 	DroppedReplies   int64 // replies suppressed by FailReplies
+	LeaseGrants      int64 // zero-copy leases granted
+	LeaseRevokes     int64 // leases revoked (teardown included)
+	RevokeAcks       int64 // client Trevokeack frames received
 }
 
 // Server multiplexes client sessions onto one vfs.FileSystem. The
@@ -88,6 +100,14 @@ type Server struct {
 	closed   bool
 
 	stats wireStats
+
+	// Zero-copy lease index: inode → segment id → segment, plus the
+	// session-side maps (Session.leases) guarded by the same lock. The
+	// atomic count gates the revocation hooks in Session.execute so a
+	// lease-free server performs no extra work (see lease.go).
+	leaseMu sync.Mutex // +lockrank:leasetab
+	leases  map[uint64]map[uint64]*leaseSegment
+	nLeases atomic.Int64
 
 	work      chan *Session
 	quit      chan struct{}
@@ -114,6 +134,9 @@ func (srv *Server) Stats() WireStats {
 		ReplayCacheHits:  srv.stats.replayCacheHits.Load(),
 		HealedReplays:    srv.stats.healedReplays.Load(),
 		DroppedReplies:   srv.stats.droppedReplies.Load(),
+		LeaseGrants:      srv.stats.leaseGrants.Load(),
+		LeaseRevokes:     srv.stats.leaseRevokes.Load(),
+		RevokeAcks:       srv.stats.revokeAcks.Load(),
 	}
 }
 
@@ -162,6 +185,7 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 		sessions: make(map[uint64]*Session),
 		byToken:  make(map[uint64]*Session),
 		conns:    make(map[*serverConn]bool),
+		leases:   make(map[uint64]map[uint64]*leaseSegment),
 		work:     make(chan *Session),
 		quit:     make(chan struct{}),
 	}
@@ -170,11 +194,22 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 // FS returns the served backend.
 func (srv *Server) FS() vfs.FileSystem { return srv.fs }
 
+// features is the server's advertised feature set. A backend that is
+// not vfs.Mappable still advertises leases: grants simply fail per
+// handle and the client caches the refusal.
+func (srv *Server) features() uint32 {
+	if srv.cfg.DisableLeases {
+		return 0
+	}
+	return featLeases
+}
+
 // attach creates a session confined to root ("" or "/" = whole tree).
 // A non-root subtree must already exist as a directory. A resumable
 // session gets a nonzero re-attach token and survives transport loss by
-// parking (see Session.disconnect).
-func (srv *Server) attach(root string, conn *serverConn, resumable bool) (*Session, error) {
+// parking (see Session.disconnect). feats is the client's requested
+// feature set; the session operates under the intersection.
+func (srv *Server) attach(root string, conn *serverConn, resumable bool, feats uint32) (*Session, error) {
 	root = vfs.CleanPath(root)
 	if root != "/" {
 		fi, err := srv.fs.Stat(root)
@@ -191,7 +226,8 @@ func (srv *Server) attach(root string, conn *serverConn, resumable bool) (*Sessi
 		return nil, errServerClosed
 	}
 	srv.nextSess++
-	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn, resumable: resumable}
+	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn, resumable: resumable,
+		features: feats & srv.features()}
 	if resumable {
 		s.token = mix64(srv.cfg.TokenSalt ^ mix64(s.id))
 		if s.token == 0 {
@@ -210,7 +246,7 @@ func (srv *Server) attach(root string, conn *serverConn, resumable bool) (*Sessi
 // adoption is a takeover. Any lookup failure reads as errUnknownSession
 // so the client falls back to a cold attach — always safe, never
 // privileged.
-func (srv *Server) reattach(token uint64, conn *serverConn, handshake func() error) (*Session, error) {
+func (srv *Server) reattach(token uint64, conn *serverConn, handshake func(*Session) error) (*Session, error) {
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
@@ -221,7 +257,7 @@ func (srv *Server) reattach(token uint64, conn *serverConn, handshake func() err
 	if s == nil {
 		return nil, fmt.Errorf("%w (token unknown)", errUnknownSession)
 	}
-	if err := s.adopt(conn, handshake); err != nil {
+	if err := s.adopt(conn, func() error { return handshake(s) }); err != nil {
 		if errors.Is(err, errUnknownSession) {
 			return nil, err
 		}
@@ -409,14 +445,20 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 	d := dec{b: payload}
 	switch typ {
 	case tAttach:
-		// Payload: root string, then an optional resumable flag byte
-		// (absent in the original protocol — old clients decode fine).
+		// Payload: root string, then an optional resumable flag byte,
+		// then an optional requested-feature bitmap (each absent in
+		// older protocol revisions — old clients decode fine, and their
+		// missing fields read as zero: not resumable, no features).
 		root := d.str()
 		resumable := len(d.b) > 0 && d.u8() == 1
+		var feats uint32
+		if len(d.b) >= 4 {
+			feats = d.u32()
+		}
 		if d.err != nil {
 			return fmt.Errorf("server: malformed Tattach: %w", d.err)
 		}
-		s, err = srv.attach(root, conn, resumable)
+		s, err = srv.attach(root, conn, resumable, feats)
 		if err != nil {
 			etyp, eid, ep := encodeError(reqID, err)
 			writeFrame(rwc, etyp, eid, ep)
@@ -426,6 +468,7 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 		e.str(srv.fs.Name())
 		e.u64(s.id)
 		e.u64(s.token)
+		e.u32(s.features) // agreed set; old clients ignore trailing bytes
 		if werr := writeFrame(rwc, rAttach, reqID, e.b); werr != nil {
 			s.teardown()
 			return werr
@@ -435,9 +478,13 @@ func (srv *Server) ServeConn(rwc io.ReadWriteCloser) error {
 		if d.err != nil {
 			return fmt.Errorf("server: malformed Treattach: %w", d.err)
 		}
-		s, err = srv.reattach(token, conn, func() error {
+		s, err = srv.reattach(token, conn, func(s *Session) error {
 			var e enc
 			e.str(srv.fs.Name())
+			// The agreed feature set was fixed at the original attach;
+			// echo it so a resumed client restores the same mode.
+			// (features is immutable after attach — no lock needed.)
+			e.u32(s.features)
 			return writeFrame(rwc, rReattach, reqID, e.b)
 		})
 		if err != nil {

@@ -32,6 +32,14 @@ type Session struct {
 	resumable bool
 	token     uint64 // re-attach credential (0 for non-resumable)
 
+	// features is the agreed feature set from attach-time negotiation
+	// (featLeases & co). Immutable after attach.
+	features uint32
+
+	// leases holds the session's outstanding lease segments by id,
+	// guarded by srv.leaseMu alongside the server's ino index.
+	leases map[uint64]*leaseSegment
+
 	mu      sync.Mutex
 	queue   []request // pending requests (stream transport only)
 	running bool      // a worker currently owns this session
@@ -260,6 +268,11 @@ func (s *Session) finishTeardown() {
 	s.queue = nil
 	s.running = false
 	s.mu.Unlock()
+	// Leases die with their session: revoke before the handles close so
+	// a client still holding a segment observes the flag, not a load
+	// against blocks an orphan close is about to free. Server.Close
+	// tears every session down, so no lease survives a generation.
+	s.srv.revokeSessionLeases(s)
 	s.ht.closeAll()
 	s.srv.detach(s)
 }
@@ -333,6 +346,12 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 		perm := d.u32()
 		path := d.str()
 		if d.err == nil {
+			// A conflicting writable open (another tenant, or O_TRUNC
+			// which frees blocks inside OpenFile) invalidates leases on
+			// the target before the open executes.
+			if vfs.Writable(flag) {
+				s.revokePathLeases(path)
+			}
 			var f vfs.File
 			if f, err = s.srv.fs.OpenFile(s.resolve(path), flag, perm); err == nil {
 				e.u64(s.ht.insert(f))
@@ -341,6 +360,8 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 	case tClose:
 		id := d.u64()
 		if d.err == nil {
+			// The backing file may free orphan blocks at last close.
+			s.srv.revokeHandleLeases(s, id)
 			err = s.ht.closeHandle(id)
 		}
 	case tRead:
@@ -417,7 +438,10 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 		id := d.u64()
 		size := d.i64()
 		if d.err == nil {
-			err = s.withFile(id, func(f vfs.File) error { return f.Truncate(size) })
+			err = s.withFile(id, func(f vfs.File) error {
+				s.revokeFileLeases(f) // truncate frees blocks
+				return f.Truncate(size)
+			})
 		}
 	case tFsync:
 		id := d.u64()
@@ -475,6 +499,7 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 	case tUnlink:
 		path := d.str()
 		if d.err == nil {
+			s.revokePathLeases(path)
 			err = s.srv.fs.Unlink(s.resolve(path))
 		}
 	case tRmdir:
@@ -486,10 +511,51 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 		oldPath := d.str()
 		newPath := d.str()
 		if d.err == nil {
+			// Both ends: the source moves (attribute-cache interplay —
+			// a leased path must not serve bytes under a stale name) and
+			// a replaced destination is unlinked.
+			s.revokePathLeases(oldPath)
+			s.revokePathLeases(newPath)
 			err = s.srv.fs.Rename(s.resolve(oldPath), s.resolve(newPath))
 		}
 	case tSyncAll:
 		err = s.syncAll()
+	case tLease:
+		id := d.u64()
+		if d.err == nil {
+			if s.features&featLeases == 0 {
+				err = fmt.Errorf("server: lease: not negotiated: %w", vfs.ErrInval)
+			} else {
+				err = s.withFile(id, func(f vfs.File) error {
+					seg, gerr := s.srv.grantLease(s, id, f)
+					if gerr != nil {
+						return gerr
+					}
+					e.u64(seg.id)
+					e.u64(seg.epoch)
+					e.i64(seg.size)
+					e.u32(uint32(len(seg.extents)))
+					for _, x := range seg.extents {
+						e.i64(x.FileOff)
+						e.i64(x.DevOff)
+						e.i64(x.Length)
+					}
+					if len(e.b) > maxPayload {
+						// Pathologically fragmented file: refuse rather
+						// than render an oversized frame; the client
+						// stays on the copy path.
+						s.srv.revokeHandleLeases(s, id)
+						return fmt.Errorf("server: lease: %d extents exceed the wire payload bound: %w", len(seg.extents), vfs.ErrInval)
+					}
+					return nil
+				})
+			}
+		}
+	case tRevokeAck:
+		segID := d.u64()
+		if d.err == nil {
+			s.srv.ackRevoke(segID)
+		}
 	case tReopen:
 		id := d.u64()
 		flag := int(d.u32())
@@ -522,6 +588,34 @@ func (s *Session) execute(typ uint8, reqID uint32, payload []byte, replay bool) 
 		return encodeError(reqID, err)
 	}
 	return rtyp, reqID, e.b
+}
+
+// revokePathLeases revokes outstanding leases on the inode a (session-
+// relative) path resolves to. Gated on leasesActive so lease-free
+// serving performs exactly the pre-lease operation sequence — the
+// determinism the crash differential and the bench baselines pin.
+func (s *Session) revokePathLeases(path string) {
+	if !s.srv.leasesActive() {
+		return
+	}
+	fi, err := s.srv.fs.Stat(s.resolve(path))
+	if err != nil {
+		return // nothing at the path, nothing leased
+	}
+	s.srv.revokeIno(fi.Ino)
+}
+
+// revokeFileLeases revokes outstanding leases on an open file's inode.
+// Same gating as revokePathLeases.
+func (s *Session) revokeFileLeases(f vfs.File) {
+	if !s.srv.leasesActive() {
+		return
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return
+	}
+	s.srv.revokeIno(fi.Ino)
 }
 
 // reopen re-establishes a handle at its original wire ID during a cold

@@ -81,6 +81,17 @@ const (
 	rReattach
 	tReopen
 	rReopen
+	// Zero-copy data plane (PR 9). Tlease asks for a lease on an open
+	// handle's extent mappings; Trevoke is the only server-initiated
+	// message in the protocol — it is pushed with request id 0 (client
+	// ids start at 1) when the server must invalidate a lease, and the
+	// client acknowledges with Trevokeack. The ordering here matters:
+	// Session.execute derives each reply type as typ+1.
+	tLease
+	rLease
+	tRevoke
+	tRevokeAck
+	rRevokeAck
 )
 
 // flagReplay marks a request the client is re-sending after a transport
@@ -105,7 +116,16 @@ var msgNames = map[uint8]string{
 	tSyncAll: "Tsyncall", rSyncAll: "Rsyncall", rError: "Rerror",
 	tReattach: "Treattach", rReattach: "Rreattach",
 	tReopen: "Treopen", rReopen: "Rreopen",
+	tLease: "Tlease", rLease: "Rlease", tRevoke: "Trevoke",
+	tRevokeAck: "Trevokeack", rRevokeAck: "Rrevokeack",
 }
+
+// Feature bits negotiated at attach time. Tattach carries the client's
+// requested set as a trailing u32 (absent on old clients: the codec
+// tolerates missing trailing fields, decoding them as zero); Rattach
+// echoes the agreed set the same way. Either side missing the field
+// settles on the empty set — today's chunked copy path.
+const featLeases uint32 = 1 << 0
 
 func msgName(t uint8) string {
 	if n, ok := msgNames[t]; ok {

@@ -100,6 +100,9 @@ func (fs *FS) OpenFile(path string, flag int, perm uint32) (vfs.File, error) {
 		kf.Close()
 		if flag&vfs.O_TRUNC != 0 && vfs.Writable(flag) {
 			of.mu.Lock()
+			// Remap event: the dropped overlay's staging chunks are
+			// released below and may be recycled (vfs.Mappable contract).
+			of.mapEpoch.Add(1)
 			dropped := of.staged
 			oldActive := of.active
 			of.staged = nil
@@ -398,6 +401,13 @@ func (f *File) writeLocked(p []byte, off int64) (int, error) {
 func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 	fs.stats.appends.Add(1)
 	need := int64(len(p))
+	// A staged write below ksize or over an existing staged range shadows
+	// bytes a lease may currently map (kernel extents or an earlier
+	// staged range); bump before the overlay changes. A pure append only
+	// adds coverage and needs no bump (vfs.Mappable contract).
+	if off < of.ksize || of.overlapsAny(off, need) {
+		of.mapEpoch.Add(1)
+	}
 	if fs.cfg.StageInDRAM {
 		// §4 ablation: buffer in DRAM at memcpy speed; every byte must
 		// later be copied into PM through the kernel at fsync.
@@ -488,6 +498,9 @@ func (f *File) Truncate(size int64) error {
 	of := f.of
 	of.mu.Lock()
 	defer of.mu.Unlock()
+	// Remap event: overlay and kernel extents both change, and freed
+	// blocks may be recycled (vfs.Mappable contract).
+	of.mapEpoch.Add(1)
 	if len(of.staged) > 0 {
 		if err := fs.relinkLocked(of); err != nil {
 			return err

@@ -59,6 +59,12 @@ func (fs *FS) relinkStepsLocked(of *ofile) (txid uint64, released []stagedRange,
 	}
 	staged := of.staged
 	of.staged = nil
+	// Remap event: the popped ranges' staging blocks are swapped into
+	// the target (aligned runs) or copied and released (partial blocks);
+	// either way their old device offsets go back to the staging pool
+	// and may be recycled. Bump before that can happen, so lease holders
+	// re-validating after their loads observe it (vfs.Mappable).
+	of.mapEpoch.Add(1)
 	// The active chunk survives the relink: only the bytes consumed so
 	// far are moved/punched, and the chunk tail stays byte-continuous
 	// with the file, so subsequent appends keep packing into it. Without

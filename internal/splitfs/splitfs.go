@@ -239,6 +239,15 @@ type ofile struct {
 	// without serializing against strict-mode writers.
 	logSeq uint64
 
+	// mapEpoch counts overlay remap events: a staged write shadowing
+	// already-visible bytes, a truncate, and a relink that pops staged
+	// ranges (their staging blocks are swapped away and recycled). It is
+	// bumped under of.mu before the stale bytes can be reused and read
+	// lock-free by lease holders validating seqlock-style; together with
+	// the kernel inode's own epoch it forms the file's mapping epoch
+	// (see File.MapEpoch).
+	mapEpoch atomic.Uint64
+
 	refs     int  // open handles; guarded by FS.mu
 	kfClosed bool // kernel handle retired (unique last closer); FS.mu
 }
@@ -370,6 +379,18 @@ func (fs *FS) syncMeta() error {
 
 // lookupStaged returns the staged ranges overlapping [off, off+n),
 // oldest first. Caller holds of.mu.
+// overlapsAny reports whether any staged range intersects [off, off+n)
+// without allocating. Caller holds of.mu.
+func (of *ofile) overlapsAny(off, n int64) bool {
+	end := off + n
+	for _, s := range of.staged {
+		if s.fileOff < end && off < s.fileOff+s.length {
+			return true
+		}
+	}
+	return false
+}
+
 func (of *ofile) overlaps(off, n int64) []stagedRange {
 	var out []stagedRange
 	end := off + n

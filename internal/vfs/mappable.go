@@ -1,0 +1,47 @@
+package vfs
+
+// Extent is one contiguous piece of a file's backing store: Length
+// bytes at FileOff within the file live at DevOff on the persistent
+// device. Extents are what a DAX mmap exposes to user space — a lease
+// on a file's extents lets a client satisfy data operations with plain
+// loads, no kernel or server round trip.
+type Extent struct {
+	FileOff int64 // byte offset within the file
+	DevOff  int64 // byte offset on the device
+	Length  int64 // bytes
+}
+
+// Mappable is the optional capability a backend implements when its
+// files can be memory-mapped for zero-copy access. It is deliberately
+// not part of File: the server feature-detects it with a type
+// assertion, so backends without a stable device-offset story (DRAM
+// maps, strace replays, the POSIX model) need no changes and simply
+// never grant leases.
+//
+// The epoch is the coherence protocol. MapExtents returns the extents
+// together with the file's current mapping epoch; every remapping event
+// — truncate, extent swap, hole punch, a staged write shadowing mapped
+// bytes, a relink retiring staged data — bumps the epoch *before* the
+// old physical bytes can be reused. A reader therefore validates
+// seqlock-style: check the epoch, load through the extents, check the
+// epoch again; if it moved, the loaded bytes are discarded and the
+// operation retries on the copy path. In-place overwrites of the same
+// physical blocks do not bump the epoch: that is ordinary shared-memory
+// coherence, exactly what a real mmap gives.
+type Mappable interface {
+	// MapExtents returns extents covering parts of [off, off+length),
+	// sorted by FileOff, together with the mapping epoch they were
+	// collected under. Holes and bytes without a stable device offset
+	// (e.g. DRAM-staged data) are simply absent; callers must treat
+	// uncovered ranges as unmapped and fall back to the copy path.
+	MapExtents(off, length int64) ([]Extent, uint64, error)
+
+	// MapEpoch returns the current mapping epoch. It must be cheap and
+	// safe to call concurrently with mutations (lock-free).
+	MapEpoch() uint64
+
+	// LoadMapped copies length bytes at devOff into p with processor
+	// loads — no kernel trap, no server involvement. devOff must come
+	// from an Extent returned by MapExtents. Returns len(p).
+	LoadMapped(p []byte, devOff int64) int
+}
