@@ -16,7 +16,7 @@
 //
 //	crashcheck [-seeds N] [-ops N] [-mode all|posix|sync|strict]
 //	           [-sample N] [-metadata] [-async] [-served] [-leases]
-//	           [-served-crash] [-tenants N]
+//	           [-served-crash] [-tenants N] [-fault-cadence N]
 //	           [-double-crash] [-double-sample N]
 //	           [-minimize] [-out FILE] [-workers N] [-v]
 //
@@ -75,6 +75,7 @@ func main() {
 	leases := flag.Bool("leases", false, "negotiate the zero-copy lease plane in served campaigns: the differential adds served-lease: sessions over all nine backends, and served-crash tenants hold leases across every daemon kill")
 	servedCrash := flag.Bool("served-crash", false, "add served daemon-death sweeps: kill the daemon at sampled persistence events while tenants are mid-pipeline, recover, restart, reconnect every tenant, and check per-tenant oracles plus exactly-once counters")
 	tenants := flag.Int("tenants", 3, "concurrent tenant sessions per served-crash campaign")
+	faultCadence := flag.Int("fault-cadence", 2, "arm a wire cut on every Nth tenant dial in served-crash sweeps (2 = every other dial; the nightly matrix sweeps this)")
 	doubleCrash := flag.Bool("double-crash", false, "also crash again inside each recovery")
 	doubleSample := flag.Int("double-sample", 3, "second-crash events tested per recovery")
 	minimize := flag.Bool("minimize", false, "shrink the first violating campaign to a minimal reproducer")
@@ -183,7 +184,8 @@ func main() {
 			for seed := uint64(1); seed <= uint64(*seeds); seed++ {
 				cfg := crash.ServedExploreConfig{Mode: mode, Tenants: *tenants,
 					OpsPerTenant: *nops, Seed: seed, WireFaults: true,
-					Leases: *leases, Sample: *sample}
+					FaultCadence: *faultCadence,
+					Leases:       *leases, Sample: *sample}
 				res, err := crash.ServedExplore(cfg)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "crashcheck: served-crash/%v/seed%d: %v\n", mode, seed, err)
@@ -315,6 +317,11 @@ func main() {
 	for _, v := range servedVios {
 		fmt.Fprintf(&report, "SERVED VIOLATION mode=%v seed=%d event=%d: %s\n",
 			v.Mode, v.Seed, v.Event, v.Msg)
+		if v.Flight != "" {
+			// The flight-recorder traces of the breached generation: the
+			// last ops each tenant had in flight when the image froze.
+			fmt.Fprintf(&report, "flight traces:\n%s", v.Flight)
+		}
 	}
 	if len(servedVios) > 0 && *minimize && servedVioCfg != nil {
 		fmt.Printf("minimizing served-crash %v/seed%d (%d tenants x %d ops)...\n",

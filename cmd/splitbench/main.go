@@ -25,9 +25,11 @@
 // clean perf trajectory across revisions.
 //
 // The macro matrix's deterministic counters (fences/op, journal commits,
-// log appends, relink/reclaim counts, PM bytes) — and the server
+// log appends, relink/reclaim counts, PM bytes) — the server
 // experiment's loopback cells, which pin the file service's
-// transparency — are additionally held by BENCH_baseline.json:
+// transparency — and the obs experiment's registry snapshots, which pin
+// the observability plane's zero-drift guarantee — are additionally
+// held by BENCH_baseline.json:
 // -check-baseline recomputes them and fails on any drift;
 // -update-baseline rewrites the baseline after an intentional change
 // (the documented escape hatch the CI bench job points at). Baseline
@@ -135,10 +137,10 @@ func main() {
 	}
 	ids := append(splitList(*experiment), args...)
 	if len(ids) == 0 && (*checkBaseline || *updateBaseline) {
-		// The baseline covers the macro matrix plus the server
-		// experiment's loopback cells; gate runs that name no experiment
-		// mean "run everything the baseline pins".
-		ids = []string{"macro", "server"}
+		// The baseline covers the macro matrix, the server experiment's
+		// loopback cells, and the obs registry snapshots; gate runs that
+		// name no experiment mean "run everything the baseline pins".
+		ids = []string{"macro", "server", "obs"}
 	}
 	var exps []harness.Experiment
 	if len(ids) == 0 {
@@ -156,7 +158,7 @@ func main() {
 	failed := false
 	rev := gitRev()
 	var recs []benchfmt.Record
-	ranMacro, ranServer := false, false
+	ranMacro, ranServer, ranObs := false, false, false
 	for _, e := range exps {
 		tbl, err := e.Run()
 		if err != nil {
@@ -169,6 +171,8 @@ func main() {
 			ranMacro = true
 		case "server":
 			ranServer = true
+		case "obs":
+			ranObs = true
 		}
 		tbl.Render(os.Stdout)
 		for _, m := range tbl.Metrics {
@@ -196,12 +200,16 @@ func main() {
 	if ranServer {
 		ranGated = append(ranGated, "server")
 	}
+	if ranObs {
+		ranGated = append(ranGated, "obs")
+	}
+	allGated := ranMacro && ranServer && ranObs
 	if *checkBaseline && len(ranGated) == 0 {
-		fmt.Fprintln(os.Stderr, "splitbench: -check-baseline needs a gated experiment (macro or server) in the run")
+		fmt.Fprintln(os.Stderr, "splitbench: -check-baseline needs a gated experiment (macro, server, or obs) in the run")
 		failed = true
 	}
-	if *updateBaseline && !(ranMacro && ranServer) {
-		fmt.Fprintln(os.Stderr, "splitbench: -update-baseline needs both the macro and server experiments in the run")
+	if *updateBaseline && !allGated {
+		fmt.Fprintln(os.Stderr, "splitbench: -update-baseline needs the macro, server, and obs experiments in the run")
 		failed = true
 	}
 	// The baseline pins the full smoke-scale matrix; recording or
@@ -212,7 +220,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "splitbench: baseline operations require -scale smoke and no -backend/-workload restriction")
 		os.Exit(2)
 	}
-	if *updateBaseline && ranMacro && ranServer {
+	if *updateBaseline && allGated {
 		gated := benchfmt.GatedSubset(recs)
 		if err := benchfmt.Save(*baselinePath, gated); err != nil {
 			fmt.Fprintf(os.Stderr, "splitbench: write %s: %v\n", *baselinePath, err)

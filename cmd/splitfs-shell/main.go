@@ -2,8 +2,14 @@
 // create, write, read, fsync, crash, and recover files on the simulated
 // PM device, watching the virtual clock. With -connect it speaks to a
 // running splitfsd over its unix socket instead, as one confined client
-// session of the multi-tenant service (crash/recover/stats/time are
-// daemon-side state and are unavailable remotely).
+// session of the multi-tenant service (crash/recover/time are
+// daemon-side state and are unavailable remotely; stats renders the
+// session's own data-plane counters instead). With -ctl it speaks one
+// command to a daemon's control socket and exits:
+//
+//	splitfs-shell -ctl /tmp/splitfs.ctl stats
+//	splitfs-shell -ctl /tmp/splitfs.ctl trace 3
+//	splitfs-shell -ctl /tmp/splitfs.ctl pprof heap > heap.pb.gz
 //
 // Commands:
 //
@@ -15,7 +21,8 @@
 //	stat <path>            file info
 //	crash                  simulate power failure (torn lines; local only)
 //	recover                remount + replay (local only)
-//	stats                  U-Split and device counters (local only)
+//	stats                  U-Split and device counters (local), or the
+//	                       session's lease/wire counters (remote)
 //	time                   simulated clock (local only)
 //	quit
 package main
@@ -24,6 +31,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -32,15 +41,50 @@ import (
 	"splitfs/internal/vfs"
 )
 
+// runCtl sends one command line to a daemon's control socket and copies
+// the reply to stdout (JSON for stats/sessions/trace, binary for
+// pprof). Exit status 1 when the daemon answered with an error line.
+func runCtl(socket string, args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "splitfs-shell: -ctl needs a command (stats | sessions | trace <id> | pprof cpu [sec] | pprof heap)")
+		return 2
+	}
+	c, err := net.Dial("unix", socket)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "splitfs-shell: ctl dial: %v\n", err)
+		return 1
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintf(c, "%s\n", strings.Join(args, " ")); err != nil {
+		fmt.Fprintf(os.Stderr, "splitfs-shell: ctl send: %v\n", err)
+		return 1
+	}
+	var out strings.Builder
+	if _, err := io.Copy(io.MultiWriter(os.Stdout, &out), c); err != nil {
+		fmt.Fprintf(os.Stderr, "splitfs-shell: ctl read: %v\n", err)
+		return 1
+	}
+	if strings.HasPrefix(out.String(), "error: ") {
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	connect := flag.String("connect", "", "unix socket of a running splitfsd (empty = local in-process stack)")
+	ctl := flag.String("ctl", "", "control socket of a running splitfsd: send the positional arguments as one control command and exit")
 	sessRoot := flag.String("root", "/", "session root when connecting (the served subtree this shell is confined to)")
 	leases := flag.Bool("leases", false, "negotiate the zero-copy lease plane when connecting (effective only for an in-process daemon; over a socket grants fail cleanly and the session stays on the copy path)")
 	flag.Parse()
 
+	if *ctl != "" {
+		os.Exit(runCtl(*ctl, flag.Args()))
+	}
+
 	mode := root.Strict
 	var fs vfs.FileSystem
 	var stack *root.Stack
+	var cl *server.Client // the remote session, for its data-plane stats
 	if *connect != "" {
 		c, err := server.DialNetConfig("unix", *connect,
 			server.ClientConfig{Root: *sessRoot, EnableLeases: *leases})
@@ -50,6 +94,7 @@ func main() {
 		}
 		defer c.Close()
 		fs = c
+		cl = c
 		fmt.Printf("splitfs-shell: connected to %s on %s (session root %s). 'help' for commands.\n",
 			c.Name(), *connect, *sessRoot)
 	} else {
@@ -174,7 +219,14 @@ func main() {
 					rep.Entries, rep.Replayed, float64(rep.ReplayNs)/1e6)
 			}
 		case "stats":
-			if !localOnly(cmd) {
+			if stack == nil {
+				// Remote session: the client's own data-plane counters —
+				// how much moved through leased mappings vs. the wire.
+				cs := cl.Stats()
+				fmt.Printf("session: lease grants=%d revocations=%d fallbacks=%d\n",
+					cs.LeaseGrants, cs.LeaseRevocations, cs.LeaseFallbacks)
+				fmt.Printf("leased:  read=%dB written=%dB\n", cs.LeasedReadBytes, cs.LeasedWriteBytes)
+				fmt.Printf("wire:    read=%dB written=%dB\n", cs.WireReadBytes, cs.WireWriteBytes)
 				continue
 			}
 			st := stack.FS.Stats()

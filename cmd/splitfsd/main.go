@@ -10,6 +10,13 @@
 //	splitfsd -socket /tmp/splitfs.sock -backend splitfs-strict
 //	splitfsd -backend nova-relaxed -dev-mb 256 -workers 8
 //	splitfsd -mkdirs /tenant0,/tenant1    # pre-create session roots
+//	splitfsd -ctl-socket /tmp/splitfs.ctl # control/introspection socket
+//
+// -ctl-socket binds the observability plane's control surface on a
+// second unix socket, kept separate from the data plane so a wedged
+// daemon can still be inspected: one command line per connection —
+// "stats", "sessions", "trace <id>", "pprof cpu [sec]", "pprof heap"
+// (see internal/server ctl.go; splitfs-shell -ctl speaks it).
 //
 // Any of the nine backend kinds (crashcheck's registry) is servable.
 // The daemon owns the device: all state is in memory and vanishes on
@@ -24,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"splitfs/internal/crash"
 	"splitfs/internal/server"
@@ -31,6 +39,7 @@ import (
 
 func main() {
 	socket := flag.String("socket", "/tmp/splitfsd.sock", "unix socket path to listen on")
+	ctlSocket := flag.String("ctl-socket", "", "unix socket path for the control surface (empty = disabled)")
 	backend := flag.String("backend", "splitfs-strict",
 		fmt.Sprintf("backend kind to serve (one of %v)", crash.BackendKinds()))
 	devMB := flag.Int64("dev-mb", 128, "simulated PM device size in MB")
@@ -62,7 +71,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "splitfsd: listen: %v\n", err)
 		os.Exit(1)
 	}
-	srv := server.New(b.FS, server.Config{Workers: *workers})
+	srv := server.New(b.FS, server.Config{
+		Workers: *workers,
+		// A live daemon is outside the deterministic contract, so op
+		// cost feeds from the wall clock; fence deltas still come from
+		// the simulated device.
+		OpClock:  func() int64 { return time.Now().UnixNano() },
+		OpFences: b.Dev.FenceCount,
+	})
+	var ctlLn net.Listener
+	if *ctlSocket != "" {
+		os.Remove(*ctlSocket)
+		ctlLn, err = net.Listen("unix", *ctlSocket)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splitfsd: ctl listen: %v\n", err)
+			os.Exit(1)
+		}
+		go srv.ServeCtl(ctlLn)
+		fmt.Printf("splitfsd: control surface on %s\n", *ctlSocket)
+	}
 	fmt.Printf("splitfsd: serving %s (%d MB device) on %s\n", b.FS.Name(), *devMB, *socket)
 
 	sig := make(chan os.Signal, 1)
@@ -73,6 +100,10 @@ func main() {
 		srv.Close()
 		ln.Close()
 		os.Remove(*socket)
+		if ctlLn != nil {
+			ctlLn.Close()
+			os.Remove(*ctlSocket)
+		}
 	}()
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintf(os.Stderr, "splitfsd: serve: %v\n", err)

@@ -139,9 +139,14 @@ var gatedSuffixes = []string{
 // execute inline), so its counters pin both the backend AND the service
 // layer's transparency; the lease cells additionally pin the zero-copy
 // data plane's byte routing. The server experiment's wall-clock session
-// sweep stays ungated.
+// sweep stays ungated. The obs experiment is gated in full: every row
+// is a registry instrument read after a sim-clocked deterministic
+// stream, so there is no wall-clock row to exclude — pinning the whole
+// snapshot is the observability plane's zero-drift guarantee in CI.
 func Gated(r Record) bool {
 	switch r.Experiment {
+	case "obs":
+		return true
 	case "macro":
 	case "server":
 		if !strings.HasPrefix(r.Metric, "loopback/") && !strings.HasPrefix(r.Metric, "lease/") {

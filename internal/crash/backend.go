@@ -7,6 +7,7 @@ import (
 	"splitfs/internal/ext4dax"
 	"splitfs/internal/logfs"
 	"splitfs/internal/nova"
+	"splitfs/internal/obs"
 	"splitfs/internal/pmem"
 	"splitfs/internal/pmfs"
 	"splitfs/internal/server"
@@ -141,6 +142,30 @@ type Backend struct {
 	Server *server.Server
 }
 
+// RegisterObs exports the backend's whole stack into an obs registry:
+// the device's per-source counters, the file system's own stats (for
+// the kinds that export them), and — for served kinds — the server's
+// wire/op gauges. One call instruments everything the observability
+// bench cells snapshot.
+func (b *Backend) RegisterObs(r *obs.Registry) {
+	if b.Dev != nil {
+		b.Dev.RegisterObs(r)
+	}
+	fs := b.FS
+	if b.Direct != nil {
+		fs = b.Direct
+	}
+	switch t := fs.(type) {
+	case *splitfs.FS:
+		t.RegisterObs(r)
+	case *ext4dax.FS:
+		t.RegisterObs(r)
+	}
+	if b.Server != nil {
+		b.Server.RegisterObs(r)
+	}
+}
+
 // NewBackend builds one backend instance of the given kind on a fresh
 // device sized by spec. A "served:<kind>" name builds <kind> and routes
 // every operation through an internal/server session on the
@@ -161,7 +186,13 @@ func NewBackend(kind string, spec BackendSpec) (*Backend, error) {
 		if err != nil {
 			return nil, err
 		}
-		srv := server.New(b.FS, server.Config{})
+		// Op cost and fence feeds come from the simulated clock and
+		// device, so every served metric snapshot — histograms included
+		// — is an exact function of the workload (pinnable, diffable).
+		srv := server.New(b.FS, server.Config{
+			OpClock:  b.Clock.Now,
+			OpFences: b.Dev.FenceCount,
+		})
 		client, err := server.NewLoopbackConfig(srv, server.ClientConfig{Root: "/", EnableLeases: leases})
 		if err != nil {
 			return nil, err

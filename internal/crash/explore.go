@@ -46,6 +46,9 @@ type Violation struct {
 	Event       int64 // first-crash persistence event (0 = boundary run)
 	DoubleEvent int64 // second-crash event, when the breach needed one
 	Msg         string
+	// Flight carries the served stack's flight-recorder traces for the
+	// generation that breached (served sweeps only; empty otherwise).
+	Flight string
 }
 
 // ExploreResult summarizes a sweep.

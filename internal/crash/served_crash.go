@@ -66,9 +66,15 @@ type ServedCampaign struct {
 	// event (0 = no crash; the campaign still verifies the final state).
 	CrashAtEvent int64
 	// WireFaults arms client-side mid-frame write cuts on a deterministic
-	// every-other-dial cadence, forcing warm re-attaches and replay even
-	// before the crash (and during cold resume after it).
+	// dial cadence (see FaultCadence), forcing warm re-attaches and
+	// replay even before the crash (and during cold resume after it).
 	WireFaults bool
+	// FaultCadence sets how often WireFaults arms a cut: every
+	// FaultCadence-th dial starting with the first (default 2 — the
+	// historical every-other-dial alternation). 1 arms every dial;
+	// higher values thin the fault pressure. The nightly matrix sweeps
+	// this.
+	FaultCadence int
 	// Leases negotiates the zero-copy data plane on every tenant session
 	// and interleaves leased-read probes through the workload, so leases
 	// are genuinely outstanding when the daemon dies. The campaign then
@@ -109,6 +115,11 @@ type ServedResult struct {
 	Gen1, Gen2 server.WireStats
 	// Trace is the recorded event trace (ServedCampaign.Trace).
 	Trace []pmem.Event
+	// Flight carries the flight-recorder traces of the server
+	// generation that was active when Violation was detected (empty
+	// when every check held): the last ops each tenant had in flight,
+	// so a minimized reproducer ships with its own trace.
+	Flight string
 }
 
 // errServedAborted releases tenants blocked on redial when the campaign
@@ -241,18 +252,21 @@ func (d *servedDialer) redial() (io.ReadWriteCloser, error) {
 }
 
 // tenantDialer layers the wire-fault cadence over the shared dialer:
-// every odd dial (the first included) is armed with a client-side write
-// cut at a seeded byte offset, tearing the transport mid-frame somewhere
-// into the session — so warm re-attach and request replay are exercised
-// even before the crash, and again during cold resume after it.
-// Alternation (every armed dial is followed by a clean one) keeps each
-// resume within the client's bounded attempt budget, and the budget
-// floor keeps the cut past the attach handshake.
+// every cadence-th dial (the first included) is armed with a
+// client-side write cut at a seeded byte offset, tearing the transport
+// mid-frame somewhere into the session — so warm re-attach and request
+// replay are exercised even before the crash, and again during cold
+// resume after it. The default cadence of 2 alternates armed and clean
+// dials, keeping each resume within the client's bounded attempt
+// budget; cadence 1 arms every dial (the client's budget still wins
+// because the cut offset eventually lands past the whole workload).
+// The budget floor keeps the cut past the attach handshake.
 type tenantDialer struct {
-	d      *servedDialer
-	rng    *sim.RNG
-	faults bool
-	dials  int
+	d       *servedDialer
+	rng     *sim.RNG
+	faults  bool
+	cadence int
+	dials   int
 }
 
 func (t *tenantDialer) redial() (io.ReadWriteCloser, error) {
@@ -260,8 +274,12 @@ func (t *tenantDialer) redial() (io.ReadWriteCloser, error) {
 	if err != nil || !t.faults {
 		return rwc, err
 	}
+	cadence := t.cadence
+	if cadence <= 0 {
+		cadence = 2
+	}
 	t.dials++
-	if t.dials%2 == 1 {
+	if (t.dials-1)%cadence == 0 {
 		fc := server.NewFaultConn(rwc)
 		fc.CutWriteAfter(t.rng.Intn(512) + 48)
 		return fc, nil
@@ -482,13 +500,17 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		// connection killed — the executed-but-unacknowledged window of a
 		// real daemon death.
 		FailReplies: func() bool { return env.dev.CrashFired() },
+		// Sim-clock cost and device fence deltas annotate each flight
+		// record, so a violation's trace shows what each op persisted.
+		OpClock:  env.clk.Now,
+		OpFences: env.dev.FenceCount,
 	})
 	dial := newServedDialer(srv, env.dev.CrashFired)
 
 	var wg sync.WaitGroup
 	for i := range tenants {
 		t := tenants[i]
-		td := &tenantDialer{d: dial, faults: c.WireFaults,
+		td := &tenantDialer{d: dial, faults: c.WireFaults, cadence: c.FaultCadence,
 			rng: sim.NewRNG(mix(c.Seed, uint64(i)^0xFA7))}
 		wg.Add(1)
 		go func() {
@@ -532,9 +554,13 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		}
 		if n := srv.ActiveLeases(); n != 0 {
 			res.Violation = fmt.Sprintf("lease plane: %d leases survived server Close", n)
+			res.Flight = srv.FlightReport()
 			return res, nil
 		}
 		res.Violation = finalCheck(tenants, fs)
+		if res.Violation != "" {
+			res.Flight = srv.FlightReport()
+		}
 		return res, nil
 	}
 
@@ -555,6 +581,7 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		// generation would hand a client a mapping onto a device image
 		// that recovery is about to rewrite.
 		res.Violation = fmt.Sprintf("lease plane: %d leases survived generation-1 teardown", n)
+		res.Flight = srv.FlightReport()
 		abortEarly := func() {
 			dial.completeRestart(nil, errServedAborted)
 			<-finished
@@ -580,6 +607,7 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 	}
 	if vio != "" {
 		res.Violation = vio
+		res.Flight = srv.FlightReport()
 		abort()
 		return res, nil
 	}
@@ -601,6 +629,10 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		}
 	}
 	if res.Violation != "" {
+		// The generation-1 traces show what each tenant had in flight
+		// when the image froze — the context a minimized reproducer
+		// needs alongside the oracle's diff.
+		res.Flight = srv.FlightReport()
 		abort()
 		return res, nil
 	}
@@ -613,6 +645,8 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 	srv2 := server.New(counter, server.Config{
 		Workers:   c.Tenants,
 		TokenSalt: mix(c.Seed, 0xB0B2),
+		OpClock:   env.clk.Now,
+		OpFences:  env.dev.FenceCount,
 	})
 	dial.completeRestart(srv2, nil)
 	<-finished
@@ -627,13 +661,18 @@ func RunServed(c ServedCampaign) (*ServedResult, error) {
 		// trips over. Record it like any breach so sweeps report and
 		// minimize it instead of aborting.
 		res.Violation = fmt.Sprintf("post-restart serving failed: %v", err)
+		res.Flight = srv2.FlightReport()
 		return res, nil
 	}
 	if dbl := counter.doubleApplied(); len(dbl) > 0 {
 		res.Violation = "exactly-once: replayed operations applied twice on the recovered generation: " +
 			strings.Join(dbl, "; ")
+		res.Flight = srv2.FlightReport()
 		return res, nil
 	}
 	res.Violation = finalCheck(tenants, fs2)
+	if res.Violation != "" {
+		res.Flight = srv2.FlightReport()
+	}
 	return res, nil
 }

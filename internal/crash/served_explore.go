@@ -26,8 +26,11 @@ type ServedExploreConfig struct {
 	WireFaults   bool
 	// Leases negotiates the zero-copy data plane on every tenant session
 	// of every run (see ServedCampaign.Leases).
-	Leases   bool
-	DevBytes int64
+	Leases bool
+	// FaultCadence arms a wire cut on every FaultCadence-th dial when
+	// WireFaults is set (0 = default 2; see ServedCampaign).
+	FaultCadence int
+	DevBytes     int64
 	// Sample bounds how many crash events are tested (0 = all),
 	// deterministic in Seed.
 	Sample int
@@ -59,7 +62,8 @@ func ServedExplore(cfg ServedExploreConfig) (*ServedExploreResult, error) {
 		return ServedCampaign{Mode: cfg.Mode, Tenants: cfg.Tenants,
 			OpsPerTenant: cfg.OpsPerTenant, TenantOps: cfg.TenantOps,
 			Seed: cfg.Seed, CrashAtEvent: event, WireFaults: cfg.WireFaults,
-			Leases: cfg.Leases, SkipFence: cfg.SkipFence, DevBytes: cfg.DevBytes}
+			FaultCadence: cfg.FaultCadence,
+			Leases:       cfg.Leases, SkipFence: cfg.SkipFence, DevBytes: cfg.DevBytes}
 	}
 
 	// Recording run: no crash; validates the workloads' final states and
@@ -73,7 +77,8 @@ func ServedExplore(cfg ServedExploreConfig) (*ServedExploreResult, error) {
 	res.Runs++
 	if record.Violation != "" {
 		res.Violations = append(res.Violations, Violation{
-			Mode: cfg.Mode, Seed: cfg.Seed, Msg: record.Violation})
+			Mode: cfg.Mode, Seed: cfg.Seed, Msg: record.Violation,
+			Flight: record.Flight})
 	}
 	w0, w1 := record.BaselineEvents, record.TotalEvents
 	res.Window = [2]int64{w0, w1}
@@ -96,7 +101,8 @@ func ServedExplore(cfg ServedExploreConfig) (*ServedExploreResult, error) {
 		}
 		if r.Violation != "" {
 			res.Violations = append(res.Violations, Violation{
-				Mode: cfg.Mode, Seed: cfg.Seed, Event: k, Msg: r.Violation})
+				Mode: cfg.Mode, Seed: cfg.Seed, Event: k, Msg: r.Violation,
+				Flight: r.Flight})
 		}
 	}
 	return res, nil

@@ -44,16 +44,24 @@ type Stats struct {
 	DataWrites int64
 	MetaOps    int64
 	Commits    int64
+	// Group-commit merge accounting (CommitUpTo): GCLeaders counts
+	// callers that committed the transaction themselves, GCFollowers
+	// callers whose transaction a concurrent leader had already
+	// committed — the jbd2-style coalescing win.
+	GCLeaders   int64
+	GCFollowers int64
 }
 
 // fsStats are the live counters behind Stats; atomics so the lock-free
 // read path can count traps and reads without fs.mu.
 type fsStats struct {
-	traps      atomic.Int64
-	dataReads  atomic.Int64
-	dataWrites atomic.Int64
-	metaOps    atomic.Int64
-	commits    atomic.Int64
+	traps       atomic.Int64
+	dataReads   atomic.Int64
+	dataWrites  atomic.Int64
+	metaOps     atomic.Int64
+	commits     atomic.Int64
+	gcLeaders   atomic.Int64
+	gcFollowers atomic.Int64
 }
 
 // FS is the ext4 DAX file system (K-Split).
@@ -220,11 +228,13 @@ func (fs *FS) Device() *pmem.Device { return fs.dev }
 // Stats returns a snapshot of file-system counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
-		Traps:      fs.stats.traps.Load(),
-		DataReads:  fs.stats.dataReads.Load(),
-		DataWrites: fs.stats.dataWrites.Load(),
-		MetaOps:    fs.stats.metaOps.Load(),
-		Commits:    fs.stats.commits.Load(),
+		Traps:       fs.stats.traps.Load(),
+		DataReads:   fs.stats.dataReads.Load(),
+		DataWrites:  fs.stats.dataWrites.Load(),
+		MetaOps:     fs.stats.metaOps.Load(),
+		Commits:     fs.stats.commits.Load(),
+		GCLeaders:   fs.stats.gcLeaders.Load(),
+		GCFollowers: fs.stats.gcFollowers.Load(),
 	}
 }
 

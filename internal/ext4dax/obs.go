@@ -1,0 +1,16 @@
+package ext4dax
+
+import "splitfs/internal/obs"
+
+// RegisterObs exports K-Split's counters into an obs registry as
+// computed gauges: the snapshot evaluates the same atomics Stats()
+// reads, so the data path pays nothing for the export.
+func (fs *FS) RegisterObs(r *obs.Registry) {
+	r.Func("ext4dax/traps", fs.stats.traps.Load)
+	r.Func("ext4dax/data_reads", fs.stats.dataReads.Load)
+	r.Func("ext4dax/data_writes", fs.stats.dataWrites.Load)
+	r.Func("ext4dax/meta_ops", fs.stats.metaOps.Load)
+	r.Func("ext4dax/commits", fs.stats.commits.Load)
+	r.Func("ext4dax/gc_leaders", fs.stats.gcLeaders.Load)
+	r.Func("ext4dax/gc_followers", fs.stats.gcFollowers.Load)
+}

@@ -267,6 +267,7 @@ func (fs *FS) CommitUpTo(txid uint64) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.doneTxID >= txid {
+		fs.stats.gcFollowers.Add(1)
 		return nil
 	}
 	// awaitCommittable releases fs.mu while batch handles are open; a
@@ -274,11 +275,13 @@ func (fs *FS) CommitUpTo(txid uint64) error {
 	// re-check afterwards rather than double-commit.
 	fs.awaitCommittable()
 	if fs.doneTxID >= txid {
+		fs.stats.gcFollowers.Add(1)
 		return nil
 	}
 	if err := fs.commitTx(); err != nil {
 		return err
 	}
+	fs.stats.gcLeaders.Add(1)
 	if fs.doneTxID < txid {
 		// Ids are monotone, so one successful commit of the running
 		// transaction covers txid — unless that transaction was consumed

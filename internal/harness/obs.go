@@ -1,0 +1,142 @@
+// The obs experiment: the observability plane measured on its own
+// contract. Each served loopback cell runs the deterministic mixed op
+// stream with a metrics registry attached and reports the full registry
+// snapshot — server op/byte/error totals, sim-derived op cost, splitfs
+// and ext4-dax engine counters, per-source PM traffic — as baseline-
+// gated rows: under the sim clock every instrument is an exact function
+// of the workload, so the snapshot is pinnable the same way the macro
+// counters are. The experiment also enforces the plane's two promises
+// in-line: zero drift (two fresh instrumented runs produce identical
+// snapshot hashes) and zero overhead (an instrumented run's macro
+// counter deltas equal an uninstrumented run's exactly — attaching the
+// registry must not perturb the op stream).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"splitfs/internal/crash"
+	"splitfs/internal/obs"
+)
+
+func init() {
+	register("obs", "Observability plane: deterministic registry snapshots over the served loopback stream", obsExp)
+}
+
+// obsDelta is the macro counter movement of one stream run — the
+// quantities the zero-overhead assertion compares between instrumented
+// and uninstrumented runs.
+type obsDelta struct {
+	fences, commits, logAppends, relinks, reclaimed, pmBytes int64
+}
+
+func obsDeltaOf(before, after macroCounters) obsDelta {
+	return obsDelta{
+		fences:     after.dev.Fences - before.dev.Fences,
+		commits:    after.commits - before.commits,
+		logAppends: after.logAppends - before.logAppends,
+		relinks:    after.relinks - before.relinks,
+		reclaimed:  after.reclaimed - before.reclaimed,
+		pmBytes:    after.dev.BytesWritten() - before.dev.BytesWritten(),
+	}
+}
+
+// obsStreamRun builds one backend, optionally attaches a fresh metrics
+// registry, runs the deterministic loopback op stream, and returns the
+// registry snapshot (nil when not attached) and the macro counter delta.
+func obsStreamRun(kind string, attach bool) (obs.Snapshot, obsDelta, error) {
+	b, err := crash.NewBackend(kind, crash.BackendSpec{DevBytes: 64 << 20,
+		StagingFiles: 8, StagingFileBytes: 1 << 20, OpLogBytes: 2 << 20})
+	if err != nil {
+		return nil, obsDelta{}, err
+	}
+	var reg *obs.Registry
+	if attach {
+		reg = obs.NewRegistry()
+		b.RegisterObs(reg)
+	}
+	before := snapshotCounters(b)
+	if _, err := runServerStream(b.FS, serverStreamOps); err != nil {
+		return nil, obsDelta{}, fmt.Errorf("obs stream %s: %w", kind, err)
+	}
+	delta := obsDeltaOf(before, snapshotCounters(b))
+	var snap obs.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	return snap, delta, nil
+}
+
+// obsMetricUnit picks the row unit from the instrument name: byte-named
+// instruments report bytes, cost-named ones sim-nanoseconds, the rest
+// plain counts.
+func obsMetricUnit(name string) string {
+	switch {
+	case strings.Contains(name, "bytes"):
+		return "bytes"
+	case strings.Contains(name, "cost"):
+		return "sim-ns"
+	default:
+		return "count"
+	}
+}
+
+// obsExp renders the experiment. Every metric row is deterministic and
+// baseline-gated (benchfmt gates the whole obs experiment), so a PR that
+// changes any instrument's accounting — or the served stack's behavior —
+// must explicitly refresh BENCH_baseline.json.
+func obsExp() (*Table, error) {
+	t := &Table{
+		ID:    "obs",
+		Title: "Observability plane: deterministic snapshots, zero drift, zero overhead",
+		Note: "every row is a registry instrument after the served loopback stream, CI-gated against " +
+			"BENCH_baseline.json; drift/overhead are asserted in-experiment (a mismatch fails the run)",
+		Headers: []string{"Backend", "ops", "server/ops", "wire KB", "op cost ms", "PM MB", "drift", "overhead"},
+	}
+	for _, kind := range serverDetBackends {
+		served := crash.ServedPrefix + kind
+		// Uninstrumented reference run: the counter movement the
+		// instrumented runs must reproduce exactly.
+		_, ref, err := obsStreamRun(served, false)
+		if err != nil {
+			return nil, err
+		}
+		snap1, d1, err := obsStreamRun(served, true)
+		if err != nil {
+			return nil, err
+		}
+		snap2, d2, err := obsStreamRun(served, true)
+		if err != nil {
+			return nil, err
+		}
+		if h1, h2 := snap1.Hash(), snap2.Hash(); h1 != h2 {
+			return nil, fmt.Errorf("obs %s: snapshot drift across identical runs: %016x vs %016x", kind, h1, h2)
+		}
+		if d1 != ref || d2 != ref {
+			return nil, fmt.Errorf("obs %s: instrumentation overhead: counter deltas %+v / %+v, uninstrumented %+v",
+				kind, d1, d2, ref)
+		}
+		get := func(name string) int64 {
+			m, _ := snap1.Get(name)
+			return m.Value
+		}
+		t.Rows = append(t.Rows, []string{
+			kind,
+			fmt.Sprintf("%d", serverStreamOps),
+			fmt.Sprintf("%d", get("server/ops")),
+			f1(float64(get("server/wire_bytes")) / (1 << 10)),
+			f2(float64(get("server/op_cost")) / 1e6),
+			f2(float64(get("pmem/bytes_written")) / (1 << 20)),
+			"none",
+			"zero",
+		})
+		for _, m := range snap1 {
+			t.AddMetric(kind+"/"+m.Name, float64(m.Value), obsMetricUnit(m.Name))
+			if m.Kind == obs.KindHist {
+				t.AddMetric(kind+"/"+m.Name+"/sum", float64(m.Sum), obsMetricUnit(m.Name))
+			}
+		}
+	}
+	return t, nil
+}

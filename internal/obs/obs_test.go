@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistryIdempotentAndSorted(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("z/ops")
+	c2 := r.Counter("z/ops")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	c1.Add(3)
+	r.Gauge("a/level").Set(7)
+	r.Func("m/fn", func() int64 { return 42 })
+	h := r.Histogram("h/cost")
+	h.Observe(5)
+	h.Observe(1000)
+
+	s := r.Snapshot()
+	names := make([]string, len(s))
+	for i, m := range s {
+		names[i] = m.Name
+	}
+	want := []string{"a/level", "h/cost", "m/fn", "z/ops"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	if m, _ := s.Get("z/ops"); m.Value != 3 {
+		t.Fatalf("counter = %d, want 3", m.Value)
+	}
+	if m, _ := s.Get("m/fn"); m.Value != 42 {
+		t.Fatalf("func gauge = %d, want 42", m.Value)
+	}
+	if m, _ := s.Get("h/cost"); m.Value != 2 || m.Sum != 1005 {
+		t.Fatalf("hist count=%d sum=%d, want 2/1005", m.Value, m.Sum)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get found a missing metric")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(1) // bit 1
+	h.Observe(7) // bit 3
+	h.Observe(1 << 50)
+	bs := HistBucketsOf(&h)
+	byBit := map[int]int64{}
+	for _, b := range bs {
+		byBit[b.Bit] = b.N
+	}
+	if byBit[0] != 2 {
+		t.Fatalf("bucket 0 = %d, want 2 (zero + negative)", byBit[0])
+	}
+	if byBit[1] != 1 || byBit[3] != 1 {
+		t.Fatalf("buckets = %v", byBit)
+	}
+	if byBit[HistBuckets-1] != 1 {
+		t.Fatalf("huge observation not clamped into last bucket: %v", byBit)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 8+1<<50 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(3)
+	b.Observe(3)
+	b.Observe(100)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 106 {
+		t.Fatalf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+}
+
+// TestSnapshotDeterministic is the core contract: two registries fed
+// the same updates produce byte-identical snapshots and equal hashes.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Register in different orders on purpose: sorting must make
+		// registration order invisible.
+		names := []string{"b", "a", "c/x", "c/y"}
+		for _, n := range names {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Histogram("h").Observe(17)
+		return r.Snapshot()
+	}
+	s1, s2 := build(), build()
+	j1, _ := json.Marshal(s1)
+	j2, _ := json.Marshal(s2)
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	if s1.Hash() != s2.Hash() {
+		t.Fatalf("hashes differ: %x vs %x", s1.Hash(), s2.Hash())
+	}
+	// And a different reading hashes differently.
+	r := NewRegistry()
+	r.Counter("b").Add(999)
+	if r.Snapshot().Hash() == s1.Hash() {
+		t.Fatal("distinct snapshots hash equal")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}

@@ -1,0 +1,171 @@
+package obs
+
+// The flight recorder: a fixed-size lock-free ring of structured op
+// records, one per dispatched request, keeping the last N ops of a
+// session available for dumping — from the control socket on demand,
+// and from the crash engine when a violation needs the trace that led
+// to it.
+//
+// Concurrency model. Writers claim a slot with one atomic ticket
+// fetch-add, then publish through a per-slot seqlock: the slot's
+// version is set to 2*ticket-1 (odd: write in progress), the record's
+// words are stored, and the version is set to 2*ticket. Every word of
+// the record is an individual atomic store/load, so concurrent append
+// and dump are race-clean by construction, and a reader accepts a slot
+// only when it observes the same even version before and after reading
+// — a torn slot (overwritten mid-read by a writer that lapped the
+// ring) is simply skipped. Appends never block, never allocate, and
+// never wait for readers.
+//
+// Determinism. Under the loopback transport requests dispatch inline
+// on the caller's goroutine, so the ring contents for a deterministic
+// workload are exact: same workload, same N records, same order.
+
+import "sync/atomic"
+
+// Record flags (outcome and route).
+const (
+	// FlagError: the request answered with Rerror.
+	FlagError uint8 = 1 << 0
+	// FlagReplay: the request carried the replay bit (a client re-send
+	// after transport loss).
+	FlagReplay uint8 = 1 << 1
+	// FlagCached: the reply was served verbatim from the session's
+	// reply cache (the exactly-once path) — the backend never ran.
+	FlagCached uint8 = 1 << 2
+	// FlagLease: the request is lease-plane traffic (grant/revoke),
+	// i.e. control for bytes that then move off-wire through a mapping.
+	FlagLease uint8 = 1 << 3
+)
+
+// Record is one dispatched operation.
+type Record struct {
+	Seq      uint64 `json:"seq"`       // 1-based ticket, monotone per recorder
+	ReqID    uint32 `json:"req_id"`    // wire request id
+	Msg      uint8  `json:"msg"`       // request message type (replay bit masked)
+	Flags    uint8  `json:"flags"`     // Flag* bits
+	PathHash uint64 `json:"path_hash"` // FNV-1a of the op's path, or its handle id
+	Bytes    int64  `json:"bytes"`     // request + reply payload bytes
+	Fences   int64  `json:"fences"`    // device fences issued during the op
+	Cost     int64  `json:"cost_ns"`   // op cost (sim ns, or wall ns in cmd/splitfsd)
+}
+
+// recWords is the packed word count of a Record.
+const recWords = 6
+
+func packRecord(rec Record) [recWords]uint64 {
+	return [recWords]uint64{
+		rec.Seq,
+		uint64(rec.ReqID)<<16 | uint64(rec.Msg)<<8 | uint64(rec.Flags),
+		rec.PathHash,
+		uint64(rec.Bytes),
+		uint64(rec.Fences),
+		uint64(rec.Cost),
+	}
+}
+
+func unpackRecord(w [recWords]uint64) Record {
+	return Record{
+		Seq:      w[0],
+		ReqID:    uint32(w[1] >> 16),
+		Msg:      uint8(w[1] >> 8),
+		Flags:    uint8(w[1]),
+		PathHash: w[2],
+		Bytes:    int64(w[3]),
+		Fences:   int64(w[4]),
+		Cost:     int64(w[5]),
+	}
+}
+
+type slot struct {
+	// ver is the slot seqlock: 0 = never written, 2k-1 = ticket k in
+	// progress, 2k = ticket k published.
+	ver atomic.Uint64
+	w   [recWords]atomic.Uint64
+}
+
+// Recorder is the fixed-size flight ring.
+type Recorder struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []slot
+}
+
+// DefaultFlightSlots is the per-session ring size unless configured.
+const DefaultFlightSlots = 128
+
+// NewRecorder returns a ring of at least n slots (rounded up to a
+// power of two; n <= 0 takes DefaultFlightSlots).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultFlightSlots
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Recorder{mask: uint64(size - 1), slots: make([]slot, size)}
+}
+
+// Append records one op. Safe for concurrent use; never blocks.
+// rec.Seq is assigned by the recorder.
+func (r *Recorder) Append(rec Record) {
+	t := r.seq.Add(1)
+	rec.Seq = t
+	s := &r.slots[(t-1)&r.mask]
+	s.ver.Store(2*t - 1)
+	w := packRecord(rec)
+	for i := range w {
+		s.w[i].Store(w[i])
+	}
+	s.ver.Store(2 * t)
+}
+
+// Len returns the total number of records ever appended.
+func (r *Recorder) Len() uint64 { return r.seq.Load() }
+
+// Cap returns the ring size.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Dump returns the most recent records in append order (oldest first).
+// Concurrent appends may overwrite slots mid-dump; such slots are
+// skipped, so a dump under load returns a consistent subset rather
+// than torn records. With no concurrent writers it returns exactly the
+// last min(Len, Cap) records.
+func (r *Recorder) Dump() []Record {
+	end := r.seq.Load()
+	n := uint64(len(r.slots))
+	if end < n {
+		n = end
+	}
+	out := make([]Record, 0, n)
+	for t := end - n + 1; t <= end; t++ {
+		s := &r.slots[(t-1)&r.mask]
+		v1 := s.ver.Load()
+		if v1 == 0 || v1%2 == 1 {
+			continue
+		}
+		var w [recWords]uint64
+		for i := range w {
+			w[i] = s.w[i].Load()
+		}
+		if s.ver.Load() != v1 {
+			continue // overwritten mid-read
+		}
+		rec := unpackRecord(w)
+		if rec.Seq != v1/2 {
+			continue
+		}
+		out = append(out, rec)
+	}
+	// Seq can run ahead of t's window under concurrent appends (a slot
+	// lapped between the seq.Load and the slot read); keep output
+	// ordered and unique by ticket.
+	for i := 1; i < len(out); i++ {
+		if out[i].Seq <= out[i-1].Seq {
+			out = append(out[:i], out[i+1:]...)
+			i--
+		}
+	}
+	return out
+}

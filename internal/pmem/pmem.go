@@ -140,6 +140,13 @@ type Device struct {
 	nFlushes     atomic.Int64
 	nFences      atomic.Int64
 	nPersisted   atomic.Int64
+
+	// Per-event-source breakdowns of the write-path counters, indexed
+	// by the current evSrc label (observability plane; see
+	// SourceStats). One extra atomic add per store/flush/fence.
+	srcBytes   [evSources]atomic.Int64
+	srcFlushes [evSources]atomic.Int64
+	srcFences  [evSources]atomic.Int64
 }
 
 // ErrNoPersistence is returned by Crash on a device without persistence
@@ -289,6 +296,7 @@ func (d *Device) StoreNT(off int64, p []byte, cat sim.Category) {
 	d.clock.Charge(cat, int64(sim.PMWriteLatencyNs)+sim.ChargeBytes(len(p), sim.PMWritePsPerByte))
 	d.write(off, p, linePending)
 	d.nBytesNT.Add(int64(len(p)))
+	d.srcBytes[d.srcIdx()].Add(int64(len(p)))
 	d.event(EvStoreNT, cat, off, int64(len(p)))
 }
 
@@ -300,6 +308,7 @@ func (d *Device) Store(off int64, p []byte, cat sim.Category) {
 	d.clock.Charge(cat, sim.ChargeBytes(len(p), sim.StorePsPerByte))
 	d.write(off, p, lineDirty)
 	d.nBytesCached.Add(int64(len(p)))
+	d.srcBytes[d.srcIdx()].Add(int64(len(p)))
 	d.event(EvStore, cat, off, int64(len(p)))
 }
 
@@ -316,6 +325,7 @@ func (d *Device) StoreBuffered(off int64, p []byte, cat sim.Category) {
 	d.clock.Charge(cat, sim.ChargeBytes(len(p), sim.StorePsPerByte))
 	d.write(off, p, lineBuffered)
 	d.nBytesCached.Add(int64(len(p)))
+	d.srcBytes[d.srcIdx()].Add(int64(len(p)))
 }
 
 func (d *Device) write(off int64, p []byte, st lineState) {
@@ -364,6 +374,7 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 		}
 	})
 	d.nFlushes.Add(dirty)
+	d.srcFlushes[d.srcIdx()].Add(dirty)
 	d.clock.Charge(cat, dirty*sim.FlushLineNs)
 	d.event(EvFlush, cat, off, int64(n))
 }
@@ -375,6 +386,7 @@ func (d *Device) Flush(off int64, n int, cat sim.Category) {
 func (d *Device) Fence() {
 	d.clock.Charge(sim.CatFence, sim.FenceNs)
 	d.nFences.Add(1)
+	d.srcFences[d.srcIdx()].Add(1)
 	if d.dropFence() {
 		// Fault injection (SetFenceFilter): the sfence was "forgotten" —
 		// nothing drains. Still a persistence event.

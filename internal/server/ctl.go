@@ -1,0 +1,140 @@
+package server
+
+// The control surface: a one-shot line protocol served on a separate
+// listener (cmd/splitfsd binds it to -ctl-socket). A client connects,
+// writes one command line, and reads the reply until EOF:
+//
+//	stats            server-wide metrics + per-session rows (JSON)
+//	sessions         live sessions with attach generation, lease and
+//	                 handle counts, op totals — the quota inputs (JSON)
+//	trace <id>       one session's flight-recorder dump (JSON); looks
+//	                 through live sessions, then the retired ring
+//	pprof cpu [sec]  CPU profile, default 1 second (binary pprof)
+//	pprof heap       heap profile after a GC (binary pprof)
+//
+// Keeping the ctl listener separate from the data socket means an
+// operator can always introspect a daemon whose data plane is wedged,
+// and the data protocol's framing never has to carve out a side
+// channel. Errors render as a single "error: ..." text line.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"splitfs/internal/vfs"
+)
+
+// CtlCommand executes one JSON-rendering control command and returns
+// the reply body. pprof streams binary data and is handled at the
+// connection layer (serveCtlConn), not here.
+func (srv *Server) CtlCommand(cmd string) ([]byte, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("server: ctl: empty command: %w", vfs.ErrInval)
+	}
+	switch fields[0] {
+	case "stats":
+		return json.MarshalIndent(srv.MetricsSnapshot(true), "", "  ")
+	case "sessions":
+		rows := []SessionMetrics{}
+		for _, s := range srv.sessionsByID() {
+			rows = append(rows, s.Metrics(false))
+		}
+		return json.MarshalIndent(rows, "", "  ")
+	case "trace":
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("server: ctl: usage: trace <session-id>: %w", vfs.ErrInval)
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: ctl: bad session id %q: %w", fields[1], vfs.ErrInval)
+		}
+		m, ok := srv.FlightDump(id)
+		if !ok {
+			return nil, fmt.Errorf("server: ctl: session %d: %w", id, vfs.ErrNotExist)
+		}
+		return json.MarshalIndent(m, "", "  ")
+	}
+	return nil, fmt.Errorf("server: ctl: unknown command %q: %w", fields[0], vfs.ErrInval)
+}
+
+// ServeCtl accepts control connections from ln until ln or the server
+// closes. Mirrors Serve's shutdown convention: an accept failure after
+// Close reads as a clean return.
+func (srv *Server) ServeCtl(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go srv.serveCtlConn(c)
+	}
+}
+
+// serveCtlConn handles one control connection: read a command line,
+// write the reply, close.
+func (srv *Server) serveCtlConn(c net.Conn) {
+	defer c.Close()
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	cmd := strings.TrimSpace(line)
+	fields := strings.Fields(cmd)
+	if len(fields) > 0 && fields[0] == "pprof" {
+		srv.ctlPprof(c, fields[1:])
+		return
+	}
+	out, cerr := srv.CtlCommand(cmd)
+	if cerr != nil {
+		fmt.Fprintf(c, "error: %v\n", cerr)
+		return
+	}
+	c.Write(append(out, '\n'))
+}
+
+// ctlPprof streams a runtime profile onto the control connection. A
+// failure after profile bytes have been written cannot be reported
+// in-band; the truncated stream fails the client's parser instead.
+func (srv *Server) ctlPprof(w io.Writer, args []string) {
+	kind := "cpu"
+	if len(args) > 0 {
+		kind = args[0]
+	}
+	switch kind {
+	case "cpu":
+		sec := 1
+		if len(args) > 1 {
+			if n, err := strconv.Atoi(args[1]); err == nil && n > 0 && n <= 60 {
+				sec = n
+			}
+		}
+		if err := pprof.StartCPUProfile(w); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return
+		}
+		time.Sleep(time.Duration(sec) * time.Second)
+		pprof.StopCPUProfile()
+	case "heap":
+		runtime.GC()
+		if err := pprof.Lookup("heap").WriteTo(w, 0); err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		}
+	default:
+		fmt.Fprintf(w, "error: unknown profile %q (want cpu or heap)\n", kind)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"splitfs/internal/obs"
 	"splitfs/internal/vfs"
 )
 
@@ -44,6 +45,30 @@ type Config struct {
 	// Logf, when set, receives disconnect classification and re-attach
 	// diagnostics (cmd/splitfsd wires log.Printf here).
 	Logf func(format string, args ...any)
+
+	// OpClock, when set, is sampled before and after every executed
+	// request; the delta is the op's cost in the session's cost
+	// histogram and flight records. Deterministic contexts feed the sim
+	// clock here (crash.NewBackend does it automatically), so op costs
+	// — and the metric snapshots built from them — are exact functions
+	// of the workload; cmd/splitfsd feeds the wall clock, which is fine
+	// outside the deterministic set.
+	OpClock func() int64
+
+	// OpFences, when set, is sampled alongside OpClock; the delta is
+	// the op's fence count in its flight record (the pmem device's
+	// cumulative fence counter in deterministic contexts).
+	OpFences func() int64
+
+	// Registry, when set, receives the server's computed gauges at
+	// construction (RegisterObs). Optional: per-session metric blocks
+	// and flight recorders exist regardless.
+	Registry *obs.Registry
+
+	// FlightSlots sizes each session's flight recorder ring (default
+	// obs.DefaultFlightSlots; rounded up to a power of two). Negative
+	// disables flight recording.
+	FlightSlots int
 }
 
 // wireStats is the server-side transport/replay counter set.
@@ -100,6 +125,13 @@ type Server struct {
 	closed   bool
 
 	stats wireStats
+
+	// Observability plane (metrics.go): detached sessions fold their
+	// metric blocks here so server-wide totals are exact across churn,
+	// and their flight recorders park in the retired ring for
+	// post-teardown dumps (guarded by mu).
+	retiredObs sessionObs
+	retired    []retiredFlight
 
 	// Zero-copy lease index: inode → segment id → segment, plus the
 	// session-side maps (Session.leases) guarded by the same lock. The
@@ -179,7 +211,7 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	srv := &Server{
 		fs:       fs,
 		cfg:      cfg,
 		sessions: make(map[uint64]*Session),
@@ -189,6 +221,10 @@ func New(fs vfs.FileSystem, cfg Config) *Server {
 		work:     make(chan *Session),
 		quit:     make(chan struct{}),
 	}
+	if cfg.Registry != nil {
+		srv.RegisterObs(cfg.Registry)
+	}
+	return srv
 }
 
 // FS returns the served backend.
@@ -228,6 +264,14 @@ func (srv *Server) attach(root string, conn *serverConn, resumable bool, feats u
 	srv.nextSess++
 	s := &Session{srv: srv, id: srv.nextSess, root: root, ht: newHandleTable(), conn: conn, resumable: resumable,
 		features: feats & srv.features()}
+	s.gen.Store(1)
+	if srv.cfg.FlightSlots >= 0 {
+		n := srv.cfg.FlightSlots
+		if n == 0 {
+			n = obs.DefaultFlightSlots
+		}
+		s.flight = obs.NewRecorder(n)
+	}
 	if resumable {
 		s.token = mix64(srv.cfg.TokenSalt ^ mix64(s.id))
 		if s.token == 0 {
@@ -278,6 +322,7 @@ func (srv *Server) detach(s *Session) {
 		delete(srv.byToken, s.token)
 	}
 	srv.mu.Unlock()
+	srv.retireSession(s)
 }
 
 // SessionCount reports the live sessions.

@@ -6,7 +6,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"splitfs/internal/obs"
 	"splitfs/internal/vfs"
 )
 
@@ -51,6 +53,13 @@ type Session struct {
 	replyMu sync.Mutex  // serializes reply frames onto conn
 
 	replies replyCache // exactly-once reply cache (resumable sessions)
+
+	// Observability plane (metrics.go): gen counts transport
+	// attachments (1 at attach, +1 per adopt), obs is the per-session
+	// metric block, flight the last-N-ops ring (nil when disabled).
+	gen    atomic.Int64
+	obs    sessionObs
+	flight *obs.Recorder
 }
 
 // replyCacheCap bounds the per-session reply cache. The resumable client
@@ -195,6 +204,7 @@ func (s *Session) adopt(conn *serverConn, handshake func() error) error {
 	s.parked = false
 	old := s.conn
 	s.conn = conn
+	s.gen.Add(1)
 	s.mu.Unlock()
 	defer s.replyMu.Unlock()
 	if old != nil {
@@ -291,17 +301,23 @@ func (s *Session) finishTeardown() {
 func (s *Session) handle(typ uint8, reqID uint32, payload []byte) (uint8, uint32, []byte) {
 	replay := typ&flagReplay != 0
 	typ &^= flagReplay
+	var flags uint8
 	if replay {
+		flags |= obs.FlagReplay
 		s.srv.stats.replayedRequests.Add(1)
 		if rtyp, rp, ok := s.replies.get(reqID); ok {
 			s.srv.stats.replayCacheHits.Add(1)
+			s.observe(typ, reqID, payload, rp, rtyp, flags|obs.FlagCached, 0, 0)
 			return rtyp, reqID, rp
 		}
 	}
+	cost0, fences0 := s.srv.probe()
 	rtyp, rid, rp := s.execute(typ, reqID, payload, replay)
+	cost1, fences1 := s.srv.probe()
 	if s.resumable {
 		s.replies.put(reqID, rtyp, rp)
 	}
+	s.observe(typ, reqID, payload, rp, rtyp, flags, cost1-cost0, fences1-fences0)
 	return rtyp, rid, rp
 }
 

@@ -401,6 +401,7 @@ func (f *File) writeLocked(p []byte, off int64) (int, error) {
 func (fs *FS) stageWrite(of *ofile, p []byte, off int64) (int, error) {
 	fs.stats.appends.Add(1)
 	need := int64(len(p))
+	fs.stats.stagedBytes.Add(need)
 	// A staged write below ksize or over an existing staged range shadows
 	// bytes a lease may currently map (kernel extents or an earlier
 	// staged range); bump before the overlay changes. A pure append only

@@ -1,0 +1,24 @@
+package splitfs
+
+import "splitfs/internal/obs"
+
+// RegisterObs exports U-Split's counters into an obs registry as
+// computed gauges and cascades to the kernel file system underneath,
+// so one call per instance wires the whole persistence stack. The
+// gauges read the same atomics Stats() snapshots — zero data-path
+// cost, evaluated only when a snapshot is taken.
+func (fs *FS) RegisterObs(r *obs.Registry) {
+	r.Func("splitfs/user_reads", fs.stats.userReads.Load)
+	r.Func("splitfs/user_writes", fs.stats.userWrites.Load)
+	r.Func("splitfs/appends", fs.stats.appends.Load)
+	r.Func("splitfs/staged_bytes", fs.stats.stagedBytes.Load)
+	r.Func("splitfs/relinks", fs.stats.relinks.Load)
+	r.Func("splitfs/relink_blocks", fs.stats.relinkBlocks.Load)
+	r.Func("splitfs/copied_bytes", fs.stats.copiedBytes.Load)
+	r.Func("splitfs/log_entries", fs.stats.logEntries.Load)
+	r.Func("splitfs/checkpoints", fs.stats.checkpoints.Load)
+	r.Func("splitfs/mmap_hits", fs.stats.mmapHits.Load)
+	r.Func("splitfs/mmap_misses", fs.stats.mmapMisses.Load)
+	r.Func("splitfs/staging_reclaims", func() int64 { return int64(fs.StagingFilesReclaimed()) })
+	fs.kfs.RegisterObs(r)
+}

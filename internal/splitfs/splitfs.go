@@ -132,6 +132,7 @@ type Stats struct {
 	UserReads    int64 // reads served from user space
 	UserWrites   int64 // overwrites served from user space
 	Appends      int64 // staged appends
+	StagedBytes  int64 // bytes written through the staging path
 	Relinks      int64 // relink invocations
 	RelinkBlocks int64 // blocks moved without copying
 	CopiedBytes  int64 // unaligned bytes copied through the kernel at fsync
@@ -147,6 +148,7 @@ type fsStats struct {
 	userReads    atomic.Int64
 	userWrites   atomic.Int64
 	appends      atomic.Int64
+	stagedBytes  atomic.Int64
 	relinks      atomic.Int64
 	relinkBlocks atomic.Int64
 	copiedBytes  atomic.Int64
@@ -320,6 +322,7 @@ func (fs *FS) Stats() Stats {
 		UserReads:    fs.stats.userReads.Load(),
 		UserWrites:   fs.stats.userWrites.Load(),
 		Appends:      fs.stats.appends.Load(),
+		StagedBytes:  fs.stats.stagedBytes.Load(),
 		Relinks:      fs.stats.relinks.Load(),
 		RelinkBlocks: fs.stats.relinkBlocks.Load(),
 		CopiedBytes:  fs.stats.copiedBytes.Load(),
